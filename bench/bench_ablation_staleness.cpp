@@ -1,0 +1,142 @@
+// Ablation A3: the cost of lazy secondary-copy maintenance (paper §4.3).
+//
+// Secondary copies refresh only when a request bounces off the wrong IAgent,
+// so the staleness cost is proportional to how often the hash function
+// *changes*. This bench drives rehash churn directly: the population's
+// mobility oscillates between a storm (100 ms dwell) and a calm (2 s dwell),
+// forcing splits on every upswing and merges on every downswing. Faster
+// oscillation = more rehashes = more wrong-IAgent bounces — the question is
+// what that does to the queries flowing throughout.
+//
+// Flags: --cycles-s=15,30,60,120 --tagents=60 --total-s=240 --seed=1
+
+#include <cstdio>
+#include <vector>
+
+#include "core/hash_scheme.hpp"
+#include "platform/agent_system.hpp"
+#include "sim/timer.hpp"
+#include "util/flags.hpp"
+#include "workload/querier.hpp"
+#include "workload/report.hpp"
+#include "workload/tagent.hpp"
+
+using namespace agentloc;
+
+namespace {
+
+struct Outcome {
+  double location_ms = 0;
+  double p95_ms = 0;
+  double attempts = 0;
+  std::uint64_t rehashes = 0;
+  std::uint64_t stale_retries = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t failed = 0;
+};
+
+Outcome run(double cycle_s, std::size_t tagents, double total_s,
+            std::uint64_t seed) {
+  util::Rng master(seed);
+  sim::Simulator simulator;
+  net::Network network(simulator, 16, net::make_default_lan_model(),
+                       master.fork());
+  platform::AgentSystem::Config platform_config;
+  platform_config.service_time = sim::SimTime::micros(4000);
+  platform::AgentSystem system(simulator, network, platform_config);
+
+  core::MechanismConfig mechanism;
+  mechanism.rehash_cooldown = sim::SimTime::seconds(2);
+  core::HashLocationScheme scheme(system, mechanism);
+
+  std::vector<workload::TAgent*> population;
+  std::vector<platform::AgentId> targets;
+  for (std::size_t i = 0; i < tagents; ++i) {
+    workload::TAgent::Config config;
+    config.residence = sim::SimTime::seconds(2);
+    config.seed = master.next();
+    auto& agent =
+        system.create<workload::TAgent>(static_cast<net::NodeId>(i % 16),
+                                        scheme, config);
+    population.push_back(&agent);
+    targets.push_back(agent.id());
+  }
+
+  // Mobility oscillator: half a cycle storm, half a cycle calm.
+  bool storm = false;
+  sim::PeriodicTimer oscillator(
+      simulator, sim::SimTime::seconds(cycle_s / 2), [&] {
+        storm = !storm;
+        const auto dwell =
+            storm ? sim::SimTime::millis(100) : sim::SimTime::seconds(2);
+        for (auto* agent : population) agent->set_residence(dwell);
+      });
+  oscillator.start();
+
+  workload::QuerierAgent::Config querier_config;
+  querier_config.quota = 0;  // run for the whole horizon
+  querier_config.think = sim::SimTime::millis(100);
+  querier_config.seed = master.next();
+  auto& querier =
+      system.create<workload::QuerierAgent>(1, scheme, querier_config, targets);
+
+  simulator.run_until(sim::SimTime::seconds(total_s));
+
+  Outcome outcome;
+  outcome.location_ms = querier.latencies_ms().mean();
+  outcome.p95_ms = querier.latencies_ms().percentile(95);
+  outcome.attempts = querier.attempts().mean();
+  outcome.queries = querier.latencies_ms().count();
+  outcome.failed = querier.failed();
+  const auto& hstats = scheme.hagent().stats();
+  outcome.rehashes = hstats.simple_splits + hstats.complex_splits +
+                     hstats.simple_merges + hstats.complex_merges;
+  outcome.stale_retries =
+      scheme.stats().stale_retries + scheme.stats().delivery_retries;
+  outcome.refreshes = scheme.stats().refreshes_triggered;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto cycles = flags.get_int_list("cycles-s", {15, 30, 60, 120});
+  const auto tagents = static_cast<std::size_t>(flags.get_int("tagents", 60));
+  const double total_s = flags.get_double("total-s", 240.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  std::printf(
+      "Ablation A3: staleness cost of lazy hash-copy refresh under churn\n"
+      "(%zu TAgents; mobility oscillates storm/calm with the given period "
+      "over %.0fs)\n\n",
+      tagents, total_s);
+
+  workload::Table table({"cycle s", "rehashes", "stale retries",
+                         "refresh pulls", "location ms", "p95 ms",
+                         "mean attempts", "queries", "failed"});
+
+  for (const std::int64_t cycle : cycles) {
+    const Outcome outcome =
+        run(static_cast<double>(cycle), tagents, total_s, seed);
+    table.add_row({std::to_string(cycle),
+                   workload::fmt_count(outcome.rehashes),
+                   workload::fmt_count(outcome.stale_retries),
+                   workload::fmt_count(outcome.refreshes),
+                   workload::fmt(outcome.location_ms),
+                   workload::fmt(outcome.p95_ms),
+                   workload::fmt(outcome.attempts),
+                   workload::fmt_count(outcome.queries),
+                   workload::fmt_count(outcome.failed)});
+    std::fflush(stdout);
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Reading: faster oscillation means more rehashes and therefore more "
+      "wrong-IAgent\nbounces and refresh pulls — but mean attempts stay near "
+      "1 and location time\nnear flat: only requests that actually hit a "
+      "moved region pay (paper §4.3).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation A8: message and byte overhead per scheme.
+//
+// Location time is only half the comparison — the paper's related-work
+// section argues about *costs* too. This bench accounts for the network
+// traffic each scheme generates for the identical workload: messages and
+// bytes per completed query, and (for the hash scheme) how much of it is
+// control traffic (hash refreshes, rehash coordination, handoffs).
+//
+// Flags: --tagents=50 --queries=1500 --residence-ms=300
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "workload/experiment.hpp"
+#include "workload/report.hpp"
+
+using namespace agentloc;
+using workload::ExperimentConfig;
+using workload::ExperimentResult;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto tagents = static_cast<std::size_t>(flags.get_int("tagents", 50));
+  const auto queries =
+      static_cast<std::size_t>(flags.get_int("queries", 1500));
+  const double residence_ms = flags.get_double("residence-ms", 300.0);
+
+  std::printf(
+      "Ablation A8: network overhead per scheme "
+      "(%zu TAgents, residence %.0fms, %zu queries)\n\n",
+      tagents, residence_ms, queries);
+
+  workload::Table table({"scheme", "location ms", "msgs/query", "KB/s",
+                         "msgs/update", "refresh pulls", "trackers"});
+
+  for (const std::string scheme :
+       {"centralized", "home", "forwarding", "hash"}) {
+    ExperimentConfig config;
+    config.scheme = scheme;
+    config.tagents = tagents;
+    config.residence = sim::SimTime::millis(residence_ms);
+    config.total_queries = queries;
+    const ExperimentResult result = workload::run_experiment(config);
+
+    const double messages =
+        static_cast<double>(result.network_stats.messages_sent);
+    const double updates =
+        static_cast<double>(result.scheme_stats.updates);
+    const double per_query =
+        result.queries_found > 0
+            ? messages / static_cast<double>(result.queries_found)
+            : 0.0;
+    const double kb_per_s =
+        result.sim_seconds > 0
+            ? static_cast<double>(result.network_stats.bytes_sent) / 1024.0 /
+                  result.sim_seconds
+            : 0.0;
+
+    table.add_row({scheme, workload::fmt(result.location_ms.mean()),
+                   workload::fmt(per_query, 1), workload::fmt(kb_per_s, 1),
+                   workload::fmt(updates > 0 ? messages / updates : 0.0, 1),
+                   workload::fmt_count(result.scheme_stats.refreshes_triggered),
+                   std::to_string(result.trackers_at_end)});
+    std::fflush(stdout);
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Note: msgs/query divides *all* traffic (updates included) by "
+      "completed queries,\nso it reflects each scheme's total footprint for "
+      "the same workload, not the\ncost of one isolated query.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: the smallest complete use of the agentloc library.
+//
+// Builds a simulated 8-node network, deploys the paper's hash-based location
+// mechanism, lets a handful of mobile agents roam, and locates one of them —
+// printing what happens at each step.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/hash_scheme.hpp"
+#include "platform/agent_system.hpp"
+#include "workload/querier.hpp"
+#include "workload/tagent.hpp"
+
+using namespace agentloc;
+
+int main() {
+  // 1. The substrate: a deterministic simulator, a LAN model, and the
+  //    mobile-agent platform (our stand-in for Aglets).
+  sim::Simulator simulator;
+  net::Network network(simulator, /*node_count=*/8,
+                       net::make_default_lan_model(), util::Rng(2024));
+  platform::AgentSystem system(simulator, network);
+
+  // 2. The paper's mechanism: one HAgent (primary copy of the hash
+  //    function), an LHAgent per node (secondary copies), one initial IAgent.
+  core::MechanismConfig mechanism;  // Tmax=50, Tmin=5 — the paper's setting
+  core::HashLocationScheme scheme(system, mechanism);
+  std::printf("deployed: %zu IAgent(s), hash version %llu\n",
+              scheme.tracker_count(),
+              static_cast<unsigned long long>(scheme.hagent().tree().version()));
+
+  // 3. Mobile agents that register and then roam, reporting each move.
+  std::vector<platform::AgentId> roamers;
+  for (int i = 0; i < 5; ++i) {
+    workload::TAgent::Config config;
+    config.residence = sim::SimTime::millis(400);
+    config.seed = 100 + static_cast<std::uint64_t>(i);
+    auto& agent = system.create<workload::TAgent>(
+        static_cast<net::NodeId>(i), scheme, config);
+    roamers.push_back(agent.id());
+  }
+
+  // 4. Let the system run for two simulated seconds of roaming.
+  simulator.run_until(sim::SimTime::seconds(2));
+  std::printf("after 2s of roaming:\n");
+  for (const platform::AgentId id : roamers) {
+    const auto node = system.node_of(id);
+    std::printf("  agent %016llx is %s\n",
+                static_cast<unsigned long long>(id),
+                node ? ("at node " + std::to_string(*node)).c_str()
+                     : "in transit");
+  }
+
+  // 5. Locate one of them the way any agent would: through the scheme.
+  //    (A QuerierAgent wraps this pattern; here we do it by hand.)
+  workload::QuerierAgent::Config querier_config;
+  querier_config.quota = 3;
+  querier_config.seed = 7;
+  auto& querier = system.create<workload::QuerierAgent>(
+      6, scheme, querier_config, roamers,
+      [&] { simulator.request_stop(); });
+  simulator.run_until(sim::SimTime::seconds(10));
+
+  std::printf("issued %zu location queries: %llu found, mean %.2f ms\n",
+              querier.latencies_ms().count(),
+              static_cast<unsigned long long>(querier.found()),
+              querier.latencies_ms().mean());
+
+  // 6. Peek at the hash function the mechanism maintains.
+  std::printf("\ncurrent hash tree (primary copy):\n%s",
+              scheme.hagent().tree().render_ascii().c_str());
+  return 0;
+}

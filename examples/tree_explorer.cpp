@@ -1,0 +1,141 @@
+// Tree explorer: a command-driven walkthrough of the extendible hash
+// function. Feed it a script of operations and it renders the hash tree,
+// hyper-labels, and mapping after every step — handy for understanding how
+// splits and merges reshape the agent→IAgent mapping.
+//
+// Usage:
+//   ./build/examples/tree_explorer                 # runs the default script
+//   ./build/examples/tree_explorer --ops="split 1 1; merge 2; lookup 0110"
+//
+// Commands (ids are IAgent ids; the tree starts with a single IAgent 1):
+//   split <victim> <m>            simple split on the m-th unused bit
+//   csplit <victim> <seg> <bit>   complex split reclaiming a padding bit
+//   merge <victim>                merge an IAgent away
+//   lookup <bits>                 map an id prefix to its IAgent
+//   loc <iagent> <node>           record an IAgent migration
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hashtree/tree.hpp"
+#include "util/flags.hpp"
+
+using namespace agentloc;
+using hashtree::HashTree;
+
+namespace {
+
+constexpr const char* kDefaultScript =
+    "split 1 1; split 2 1; split 1 2; merge 2; lookup 00; lookup 0110;"
+    " csplit 4 1 1; lookup 0110; merge 3; lookup 111";
+
+std::vector<std::vector<std::string>> parse_script(const std::string& text) {
+  std::vector<std::vector<std::string>> commands;
+  std::stringstream lines(text);
+  std::string statement;
+  while (std::getline(lines, statement, ';')) {
+    std::stringstream words(statement);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (words >> token) tokens.push_back(token);
+    if (!tokens.empty()) commands.push_back(std::move(tokens));
+  }
+  return commands;
+}
+
+void show(const HashTree& tree) {
+  std::printf("%s", tree.render_ascii().c_str());
+  std::printf("  leaves:");
+  for (const auto leaf : tree.leaves()) {
+    std::printf(" IA%llu=%s", static_cast<unsigned long long>(leaf),
+                tree.hyper_label(leaf).c_str());
+  }
+  std::printf("   (version %llu)\n\n",
+              static_cast<unsigned long long>(tree.version()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string script = flags.get_string("ops", kDefaultScript);
+
+  HashTree tree(1, 0);
+  hashtree::IAgentId next_id = 2;
+
+  std::printf("initial tree: one IAgent serving every agent id\n");
+  show(tree);
+
+  for (const auto& command : parse_script(script)) {
+    try {
+      const std::string& op = command.at(0);
+      if (op == "split") {
+        const auto victim = std::stoull(command.at(1));
+        const auto m = static_cast<std::size_t>(std::stoul(command.at(2)));
+        const auto fresh = next_id++;
+        tree.simple_split(victim, m, fresh, 0);
+        std::printf("> simple split of IA%llu on bit m=%zu -> new IA%llu\n",
+                    static_cast<unsigned long long>(victim), m,
+                    static_cast<unsigned long long>(fresh));
+      } else if (op == "csplit") {
+        const auto victim = std::stoull(command.at(1));
+        const hashtree::SplitPoint point{
+            static_cast<std::size_t>(std::stoul(command.at(2))),
+            static_cast<std::size_t>(std::stoul(command.at(3)))};
+        const auto fresh = next_id++;
+        const auto position = tree.split_point_bit_position(victim, point);
+        tree.complex_split(victim, point, fresh, 0);
+        std::printf(
+            "> complex split of IA%llu reclaiming padding bit at global "
+            "position %zu -> new IA%llu\n",
+            static_cast<unsigned long long>(victim), position,
+            static_cast<unsigned long long>(fresh));
+      } else if (op == "merge") {
+        const auto victim = std::stoull(command.at(1));
+        const auto result = tree.merge(victim);
+        std::printf("> %s merge of IA%llu%s\n",
+                    result.kind == hashtree::MergeResult::Kind::kSimple
+                        ? "simple"
+                        : "complex",
+                    static_cast<unsigned long long>(victim),
+                    result.kind == hashtree::MergeResult::Kind::kSimple
+                        ? (" into IA" + std::to_string(result.into_iagent))
+                              .c_str()
+                        : " (load redistributes over the sibling subtree)");
+      } else if (op == "lookup") {
+        const auto bits = util::BitString::parse(command.at(1));
+        const auto target = tree.lookup(bits);
+        std::printf("> lookup(%s) -> IA%llu at node %u\n",
+                    command.at(1).c_str(),
+                    static_cast<unsigned long long>(target.iagent),
+                    target.location);
+        continue;  // lookups don't change the tree; skip the render
+      } else if (op == "loc") {
+        const auto leaf = std::stoull(command.at(1));
+        const auto node =
+            static_cast<hashtree::NodeLocation>(std::stoul(command.at(2)));
+        tree.set_location(leaf, node);
+        std::printf("> IA%llu migrated to node %u\n",
+                    static_cast<unsigned long long>(leaf), node);
+      } else {
+        std::printf("> unknown command '%s' (skipped)\n", op.c_str());
+        continue;
+      }
+      tree.validate();
+      show(tree);
+    } catch (const std::exception& error) {
+      std::printf("> error: %s (command skipped)\n", error.what());
+    }
+  }
+
+  std::printf("final candidates for complex splits:\n");
+  for (const auto leaf : tree.leaves()) {
+    const auto candidates = tree.complex_split_candidates(leaf);
+    std::printf("  IA%llu (%s): %zu reclaimable padding bit(s)\n",
+                static_cast<unsigned long long>(leaf),
+                tree.hyper_label(leaf).c_str(), candidates.size());
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace agentloc::core {
+
+/// Tunables of the hash-based location mechanism. Defaults reproduce the
+/// paper's setting (Tmax/Tmin reconstructed as 50/5 msg/s — DESIGN.md §5).
+struct MechanismConfig {
+  /// Split an IAgent whose request rate exceeds this (msg/s; paper §4.1).
+  double t_max = 50.0;
+
+  /// Merge an IAgent whose request rate falls below this (msg/s; §4.2).
+  double t_min = 5.0;
+
+  /// Length of the request-rate measurement window.
+  sim::SimTime stats_window = sim::SimTime::seconds(2);
+
+  /// Minimum time between rehash requests from the same IAgent, and the
+  /// minimum age before a fresh IAgent may ask to merge — hysteresis on top
+  /// of the Tmax/Tmin band.
+  sim::SimTime rehash_cooldown = sim::SimTime::seconds(4);
+
+  /// A candidate split is "even" when each side keeps at least this fraction
+  /// of the load (paper §4.1's "even split", made concrete).
+  double even_tolerance = 0.25;
+
+  /// Largest m tried by a simple split before settling for the best seen.
+  std::size_t max_split_bits = 4;
+
+  /// After a responsibility change, compatible-but-unknown lookups answer
+  /// kTransient (handoff in flight) for this long.
+  sim::SimTime transient_grace = sim::SimTime::millis(300);
+
+  /// Client-side bound on locate retries (refresh + resend cycles).
+  int max_locate_retries = 5;
+
+  /// Client-side delay before retrying a kTransient locate.
+  sim::SimTime transient_retry_delay = sim::SimTime::millis(5);
+
+  /// Client-side RPC deadline for location traffic. Deliberately generous:
+  /// a request to an overloaded tracker should *wait* in its queue (that
+  /// queueing delay is the phenomenon the paper measures), not time out and
+  /// retry — retries amplify exactly the overload they react to.
+  sim::SimTime rpc_timeout = sim::SimTime::seconds(2);
+
+  /// HAgent-side deadline for a rehash to finish before the coordinator
+  /// unlocks itself anyway.
+  sim::SimTime rehash_timeout = sim::SimTime::seconds(2);
+
+  /// Run a backup HAgent that replicates the primary copy op-by-op and can
+  /// be promoted when the primary dies (the paper's §7 fault-tolerance
+  /// extension: "the HAgent that keeps this copy [is] a vulnerability
+  /// point").
+  bool hagent_replication = false;
+
+  /// Consecutive coordinator failures an LHAgent tolerates before failing
+  /// over to the next coordinator and requesting its promotion.
+  int failover_threshold = 2;
+
+  /// Serve hash-copy refreshes as operation deltas when the coordinator's
+  /// journal still covers the requester's version (falls back to full
+  /// snapshots otherwise). Extension over the paper's whole-copy refresh.
+  bool delta_refresh = true;
+
+  /// How many tree operations the coordinator's journal retains.
+  std::size_t journal_capacity = 512;
+
+  /// Largest number of entries shipped in one HandoffTransfer message;
+  /// bigger tables move as a chain of batches (final_batch marks the last).
+  std::size_t max_handoff_batch = 64;
+
+  /// Most watchers an IAgent keeps per tracked agent (guaranteed-discovery
+  /// extension); further WatchRequests are refused with kTransient.
+  std::size_t max_watchers_per_agent = 8;
+
+  /// Client-side deadline for a watch to fire before reporting failure.
+  sim::SimTime watch_timeout = sim::SimTime::seconds(10);
+
+  /// Paper §7 extension: IAgents periodically migrate toward the node
+  /// hosting the plurality of the agents they serve.
+  bool locality_migration = false;
+
+  /// Fraction of an IAgent's entries that must sit on one node before a
+  /// locality migration is worthwhile.
+  double locality_threshold = 0.5;
+};
+
+}  // namespace agentloc::core

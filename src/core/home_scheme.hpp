@@ -1,0 +1,54 @@
+#pragma once
+
+#include "core/centralized_scheme.hpp"
+#include "core/config.hpp"
+#include "core/scheme.hpp"
+
+namespace agentloc::core {
+
+/// Ajanta-style home-registry scheme (paper §6): one registry per node; an
+/// agent's *home* registry — derivable from its name, here `id mod #nodes` —
+/// always knows its precise current location. Every move updates the home
+/// registry; every locate asks the target's home registry.
+///
+/// Strengths: no central bottleneck (load spreads by agent id), one hop per
+/// locate. Weakness the paper calls out: the scheme is welded to a naming
+/// convention that encodes the home, and a popular agent's home registry
+/// still hot-spots — there is no load-adaptive rebalancing.
+///
+/// The per-node registry reuses `CentralTracker` (the registry performs the
+/// same functions, scoped to the agents homed at its node).
+class HomeRegistryLocationScheme : public LocationScheme {
+ public:
+  HomeRegistryLocationScheme(platform::AgentSystem& system,
+                             MechanismConfig config);
+
+  std::string name() const override { return "home"; }
+
+  void register_agent(platform::Agent& self,
+                      std::function<void(bool)> done) override;
+  void update_location(platform::Agent& self,
+                       std::function<void(bool)> done) override;
+  void deregister_agent(platform::Agent& self) override;
+  void locate(platform::Agent& requester, platform::AgentId target,
+              std::function<void(const LocateOutcome&)> done) override;
+
+  std::size_t tracker_count() const override { return registries_.size(); }
+
+  /// The registry responsible for `agent` (by the naming convention).
+  platform::AgentAddress home_of(platform::AgentId agent) const;
+
+ private:
+  void send_register(platform::AgentId self, std::uint64_t seq,
+                     int attempts_left, std::function<void(bool)> done);
+  void locate_attempt(platform::AgentId requester, platform::AgentId target,
+                      int attempt,
+                      std::function<void(const LocateOutcome&)> done);
+
+  platform::AgentSystem& system_;
+  MechanismConfig config_;
+  std::vector<CentralTracker*> registries_;
+  std::unordered_map<platform::AgentId, std::uint64_t> seqs_;
+};
+
+}  // namespace agentloc::core

@@ -1,0 +1,116 @@
+#include "core/lhagent.hpp"
+
+#include "hashtree/delta.hpp"
+
+#include <utility>
+
+#include "platform/agent_system.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/logging.hpp"
+
+namespace agentloc::core {
+
+LHAgent::LHAgent(platform::AgentAddress hagent, hashtree::HashTree initial)
+    : LHAgent(std::vector<platform::AgentAddress>{hagent}, std::move(initial),
+              2) {}
+
+LHAgent::LHAgent(std::vector<platform::AgentAddress> coordinators,
+                 hashtree::HashTree initial, int failover_threshold)
+    : coordinators_(std::move(coordinators)),
+      hagent_(coordinators_.at(0)),
+      failover_threshold_(failover_threshold),
+      tree_(std::move(initial)) {}
+
+void LHAgent::note_pull_failure() {
+  ++stats_.refresh_failures;
+  if (coordinators_.size() < 2 ||
+      ++consecutive_failures_ < failover_threshold_) {
+    return;
+  }
+  consecutive_failures_ = 0;
+  coordinator_index_ = (coordinator_index_ + 1) % coordinators_.size();
+  hagent_ = coordinators_[coordinator_index_];
+  ++stats_.failovers;
+  AGENTLOC_LOG(kWarn, "lhagent")
+      << "coordinator unreachable; failing over to agent " << hagent_.agent;
+  system().send(id(), hagent_, PromoteRequest{}, PromoteRequest::kWireBytes);
+}
+
+void LHAgent::on_start() {
+  system().register_service(node(), "lhagent", id());
+}
+
+platform::AgentAddress LHAgent::resolve(platform::AgentId agent) {
+  ++stats_.resolves;
+  const auto target = tree_.lookup_id(agent);
+  return platform::AgentAddress{target.location, target.iagent};
+}
+
+void LHAgent::refresh(std::function<void()> done) {
+  waiters_.push_back(std::move(done));
+  if (pull_in_flight_) {
+    ++stats_.refreshes_coalesced;
+    return;
+  }
+  pull_in_flight_ = true;
+  ++stats_.refreshes_requested;
+  pull(/*force_full=*/false);
+}
+
+void LHAgent::pull(bool force_full) {
+  system().request(
+      id(), hagent_, HashPullRequest{tree_.version(), force_full},
+      HashPullRequest::kWireBytes, [this](platform::RpcResult result) {
+        if (!result.ok()) {
+          note_pull_failure();
+          finish_pull();
+          return;
+        }
+        const auto* reply = result.reply.body_as<HashPullReply>();
+        if (reply == nullptr) {
+          note_pull_failure();
+          finish_pull();
+          return;
+        }
+        consecutive_failures_ = 0;
+        try {
+          util::ByteReader reader(reply->payload);
+          if (reply->is_delta) {
+            const auto delta = hashtree::TreeDelta::deserialize(reader);
+            delta.apply_to(tree_);
+            ++stats_.delta_refreshes;
+          } else {
+            hashtree::HashTree fresh =
+                hashtree::HashTree::deserialize(reader);
+            if (fresh.version() >= tree_.version()) {
+              tree_ = std::move(fresh);
+            }
+          }
+          ++stats_.refreshes_completed;
+          finish_pull();
+        } catch (const std::exception& error) {
+          if (reply->is_delta) {
+            // A delta that no longer lines up with our copy (e.g. a lost
+            // earlier refresh): fall back to a full snapshot once.
+            ++stats_.delta_fallbacks;
+            pull(/*force_full=*/true);
+            return;
+          }
+          ++stats_.refresh_failures;
+          AGENTLOC_LOG(kError, "lhagent")
+              << "bad hash snapshot: " << error.what();
+          finish_pull();
+        }
+      });
+}
+
+void LHAgent::finish_pull() {
+  pull_in_flight_ = false;
+  // Run the callbacks even on failure; clients retry end-to-end and a
+  // subsequent wrong-IAgent bounce will trigger another refresh.
+  std::vector<std::function<void()>> pending;
+  pending.swap(waiters_);
+  for (auto& waiter : pending) waiter();
+}
+
+}  // namespace agentloc::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "hashtree/tree.hpp"
+#include "platform/agent.hpp"
+
+namespace agentloc::core {
+
+struct LHAgentStats {
+  std::uint64_t resolves = 0;
+  std::uint64_t refreshes_requested = 0;
+  std::uint64_t refreshes_completed = 0;
+  std::uint64_t refreshes_coalesced = 0;
+  std::uint64_t refresh_failures = 0;
+  std::uint64_t delta_refreshes = 0;
+  std::uint64_t delta_fallbacks = 0;  ///< delta failed; re-pulled full
+  std::uint64_t failovers = 0;        ///< switched to another coordinator
+};
+
+/// Local Hash Agent (paper §2.2): the stationary per-node agent holding a
+/// *secondary copy* of the hash function.
+///
+/// Agents co-located with an LHAgent resolve through a direct call —
+/// same-node IPC is orders of magnitude cheaper than any network hop and
+/// identical for every scheme, so it is not separately modelled (DESIGN.md
+/// §2). The copy refreshes lazily (paper §4.3): when a client is told
+/// "not responsible" (or cannot reach an IAgent at its recorded node), it
+/// calls `refresh`, which pulls the primary copy from the HAgent. Concurrent
+/// refresh requests coalesce into one pull.
+class LHAgent : public platform::Agent {
+ public:
+  /// `initial` is the bootstrap copy of the hash function (white-box setup
+  /// shortcut; every later refresh goes through messages).
+  LHAgent(platform::AgentAddress hagent, hashtree::HashTree initial);
+
+  /// With coordinator failover (§7 fault-tolerance extension): after
+  /// `failover_threshold` consecutive pull failures, rotate to the next
+  /// coordinator and ask it to promote itself.
+  LHAgent(std::vector<platform::AgentAddress> coordinators,
+          hashtree::HashTree initial, int failover_threshold);
+
+  std::string kind() const override { return "lhagent"; }
+
+  void on_start() override;
+
+  /// Map an agent id to (believed) responsible IAgent and its (believed)
+  /// node. Pure local computation on the secondary copy.
+  platform::AgentAddress resolve(platform::AgentId agent);
+
+  std::uint64_t version() const noexcept { return tree_.version(); }
+  std::size_t known_iagents() const noexcept { return tree_.leaf_count(); }
+  const LHAgentStats& stats() const noexcept { return stats_; }
+  const hashtree::HashTree& tree() const noexcept { return tree_; }
+
+  /// Pull the primary copy from the HAgent, then run `done` (also on
+  /// failure — the caller retries end-to-end). Coalesces concurrent calls.
+  void refresh(std::function<void()> done);
+
+ private:
+  void pull(bool force_full);
+  void finish_pull();
+  void note_pull_failure();
+
+  std::vector<platform::AgentAddress> coordinators_;
+  std::size_t coordinator_index_ = 0;
+  platform::AgentAddress hagent_;  ///< current coordinator
+  int failover_threshold_ = 2;
+  int consecutive_failures_ = 0;
+  hashtree::HashTree tree_;
+  bool pull_in_flight_ = false;
+  std::vector<std::function<void()>> waiters_;
+  LHAgentStats stats_;
+};
+
+}  // namespace agentloc::core

@@ -1,0 +1,258 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hashtree/tree.hpp"
+#include "platform/message.hpp"
+
+namespace agentloc::core {
+
+/// One row of an IAgent's location table: the precise current location of a
+/// tracked mobile agent. `seq` is the agent's move counter; the network may
+/// reorder updates (an agent's consecutive updates are sent from different
+/// nodes), so tables only apply an update with a newer sequence number.
+struct LocationEntry {
+  platform::AgentId agent = platform::kNoAgent;
+  net::NodeId node = net::kNoNode;
+  std::uint64_t seq = 0;
+};
+
+/// An IAgent's responsibility test, distilled from its leaf's hyper-label:
+/// the positions and values of the valid bits (paper §3 — padding bits do
+/// not participate). The HAgent recomputes predicates from the primary tree
+/// after every rehash and ships them to the affected IAgents, which is how an
+/// IAgent "checks whether it is still responsible" (paper §2.3) without
+/// holding the whole tree.
+struct Predicate {
+  std::vector<std::pair<std::uint32_t, bool>> valid_bits;
+
+  bool matches(platform::AgentId id) const noexcept {
+    for (const auto& [position, bit] : valid_bits) {
+      const bool id_bit =
+          position < 64 && ((id >> (63 - position)) & 1u) != 0;
+      if (id_bit != bit) return false;
+    }
+    return true;
+  }
+
+  std::size_t wire_bytes() const noexcept {
+    return 4 + 5 * valid_bits.size();
+  }
+};
+
+/// Extract the predicate of `leaf` from a hash tree.
+Predicate predicate_of(const hashtree::HashTree& tree, hashtree::IAgentId leaf);
+
+// ---------------------------------------------------------------------------
+// Client ↔ IAgent (register / move / locate; paper §2.3)
+// ---------------------------------------------------------------------------
+
+/// A mobile agent announcing itself to its IAgent at creation time.
+struct RegisterRequest {
+  LocationEntry entry;
+  static constexpr std::size_t kWireBytes = 40;
+};
+
+/// A mobile agent reporting its new location after a migration — **one-way**,
+/// exactly as the paper describes it ("each time A moves, it informs its
+/// IAgent about its new location", §2.3). No acknowledgement: the common
+/// case must not tie up the mover, and an ack would race the agent's next
+/// migration. The IAgent responds only when something is wrong, with a
+/// `NotResponsibleNotice`.
+struct UpdateRequest {
+  LocationEntry entry;
+  static constexpr std::size_t kWireBytes = 40;
+};
+
+/// Acknowledgement to a RegisterRequest. `responsible == false` signals the
+/// sender used a stale hash copy and must refresh and resend (paper §4.3
+/// trigger (i)).
+struct UpdateAck {
+  bool responsible = true;
+  /// Newest hash version the IAgent has heard of; a hint for the refresh.
+  std::uint64_t version_hint = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// One-way notice from an IAgent to a mobile agent whose update it is not
+/// responsible for (paper §4.3 trigger (i)): the agent must refresh its
+/// LHAgent's copy and resend. Best-effort — if the agent has moved on, its
+/// next update self-corrects.
+struct NotResponsibleNotice {
+  platform::AgentId agent = platform::kNoAgent;
+  std::uint64_t version_hint = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// Subscribe to the target's next location update (guaranteed-discovery
+/// extension; the paper's §6 future-work item, after Moreau and
+/// Murphy/Picco). The IAgent acks with the current LocateReply and, when the
+/// target's next UpdateRequest arrives, pushes one WatchNotify to the
+/// watcher — a location that is *fresh*: the target has just landed and its
+/// dwell time lies ahead, so a follow-up contact wins the race a plain
+/// locate can lose against a fast mover.
+struct WatchRequest {
+  platform::AgentId target = platform::kNoAgent;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// One-shot notification fulfilling a WatchRequest.
+struct WatchNotify {
+  LocationEntry entry;
+  static constexpr std::size_t kWireBytes = 40;
+};
+
+/// A mobile agent leaving the system.
+struct DeregisterRequest {
+  platform::AgentId agent = platform::kNoAgent;
+  std::uint64_t seq = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// Query for the current location of `target` (paper §2.3, "Locating an
+/// Agent").
+struct LocateRequest {
+  platform::AgentId target = platform::kNoAgent;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+enum class LocateStatus : std::uint8_t {
+  kFound,           ///< `node` holds the target's current location
+  kNotResponsible,  ///< stale hash copy: refresh and retry (§4.3 trigger (ii))
+  kTransient,       ///< responsible, but a handoff is in flight: retry later
+  kUnknown,         ///< responsible and the agent is not registered
+};
+
+struct LocateReply {
+  LocateStatus status = LocateStatus::kUnknown;
+  net::NodeId node = net::kNoNode;
+  std::uint64_t version_hint = 0;
+  static constexpr std::size_t kWireBytes = 32;
+};
+
+// ---------------------------------------------------------------------------
+// LHAgent ↔ HAgent (secondary-copy refresh; paper §4.3)
+// ---------------------------------------------------------------------------
+
+struct HashPullRequest {
+  std::uint64_t have_version = 0;
+  /// Set when a previous delta failed to apply: demand a full snapshot.
+  bool force_full = false;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// Refresh payload: either a full snapshot of the primary copy or, when the
+/// HAgent's journal still covers the requester's version, a delta of tree
+/// operations (much smaller under steady churn). Either way the wire size is
+/// the actual serialized payload, so refresh traffic is charged honestly.
+struct HashPullReply {
+  bool is_delta = false;
+  std::vector<std::uint8_t> payload;
+  std::size_t wire_bytes() const noexcept { return 16 + payload.size(); }
+};
+
+// ---------------------------------------------------------------------------
+// IAgent ↔ HAgent (rehashing; paper §4)
+// ---------------------------------------------------------------------------
+
+/// Per-agent accumulated request rate (update + query) the IAgent reports
+/// with a split request so the HAgent can plan an even split (paper §4.1).
+struct AgentLoad {
+  platform::AgentId agent = platform::kNoAgent;
+  std::uint32_t requests = 0;
+};
+
+struct SplitRequest {
+  double rate = 0.0;  ///< requests/second over the last window
+  std::vector<AgentLoad> loads;
+  std::size_t wire_bytes() const noexcept { return 32 + 12 * loads.size(); }
+};
+
+struct MergeRequest {
+  double rate = 0.0;
+  std::size_t entry_count = 0;
+  static constexpr std::size_t kWireBytes = 32;
+};
+
+/// HAgent → IAgent: your responsibility changed (you were split, a sibling
+/// merged into your region, or you are freshly created). When `transfer_to`
+/// is set, entries matching that predicate must be handed off to it.
+struct ResponsibilityUpdate {
+  std::uint64_t version = 0;
+  Predicate predicate;
+
+  bool has_transfer = false;
+  platform::AgentAddress transfer_to;
+  Predicate transfer_predicate;
+
+  /// Count of HandoffTransfer batches this (new) IAgent should still expect;
+  /// while positive, compatible-but-unknown lookups answer kTransient.
+  std::uint32_t expected_handoffs = 0;
+
+  std::size_t wire_bytes() const noexcept {
+    return 48 + predicate.wire_bytes() + transfer_predicate.wire_bytes();
+  }
+};
+
+/// Batch of entries moving between IAgents during a split or merge.
+struct HandoffTransfer {
+  std::vector<LocationEntry> entries;
+  /// True when this is the last batch the receiver should expect from this
+  /// sender for the current rehash.
+  bool final_batch = true;
+  std::size_t wire_bytes() const noexcept {
+    return 24 + 20 * entries.size();
+  }
+};
+
+struct HandoffAck {
+  static constexpr std::size_t kWireBytes = 16;
+};
+
+/// IAgent → HAgent: I finished acting on a ResponsibilityUpdate.
+struct RehashDone {
+  std::uint64_t version = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// HAgent → IAgent: you were merged away. Route each of your entries to the
+/// first matching route and dispose yourself when done.
+struct RetireOrder {
+  std::uint64_t version = 0;
+  struct Route {
+    Predicate predicate;
+    platform::AgentAddress target;
+  };
+  std::vector<Route> routes;
+  std::size_t wire_bytes() const noexcept {
+    std::size_t size = 32;
+    for (const auto& route : routes) size += 16 + route.predicate.wire_bytes();
+    return size;
+  }
+};
+
+/// Primary HAgent → backup HAgent: one tree operation to replay (the
+/// fault-tolerance extension of §7: replicating the primary copy removes
+/// the HAgent as a single point of failure). Ops are versioned; a gap makes
+/// the follower resynchronize with a full pull.
+struct ReplicateOp {
+  std::uint64_t version = 0;  ///< tree version after applying the op
+  std::vector<std::uint8_t> op_bytes;
+  std::size_t wire_bytes() const noexcept { return 24 + op_bytes.size(); }
+};
+
+/// Anyone → backup HAgent: the primary looks dead; take over. Idempotent.
+struct PromoteRequest {
+  static constexpr std::size_t kWireBytes = 16;
+};
+
+/// Mobile IAgent → HAgent: I migrated; update my location in the primary
+/// copy (the paper's locality extension, §7).
+struct IAgentMoved {
+  hashtree::IAgentId iagent = hashtree::kNoIAgent;
+  net::NodeId node = net::kNoNode;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+}  // namespace agentloc::core

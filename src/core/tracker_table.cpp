@@ -1,0 +1,101 @@
+#include "core/tracker_table.hpp"
+
+namespace agentloc::core {
+
+Predicate predicate_of(const hashtree::HashTree& tree,
+                       hashtree::IAgentId leaf) {
+  Predicate predicate;
+  const auto segments = tree.hyper_label_segments(leaf);
+  std::uint32_t position = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (i > 0) {
+      predicate.valid_bits.emplace_back(position, segments[i].front());
+    }
+    position += static_cast<std::uint32_t>(segments[i].size());
+  }
+  return predicate;
+}
+
+bool LocationTable::apply(const LocationEntry& entry) {
+  const auto it = entries_.find(entry.agent);
+  if (it != entries_.end() && it->second.seq >= entry.seq) return false;
+  entries_[entry.agent] = Stored{entry.node, entry.seq};
+  return true;
+}
+
+bool LocationTable::remove(platform::AgentId agent, std::uint64_t seq) {
+  const auto it = entries_.find(agent);
+  if (it == entries_.end() || it->second.seq > seq) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<LocationEntry> LocationTable::find(
+    platform::AgentId agent) const {
+  const auto it = entries_.find(agent);
+  if (it == entries_.end()) return std::nullopt;
+  return LocationEntry{agent, it->second.node, it->second.seq};
+}
+
+std::vector<LocationEntry> LocationTable::extract_matching(
+    const Predicate& predicate) {
+  std::vector<LocationEntry> extracted;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (predicate.matches(it->first)) {
+      extracted.push_back(LocationEntry{it->first, it->second.node,
+                                        it->second.seq});
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return extracted;
+}
+
+std::vector<LocationEntry> LocationTable::extract_all() {
+  std::vector<LocationEntry> extracted;
+  extracted.reserve(entries_.size());
+  for (const auto& [agent, stored] : entries_) {
+    extracted.push_back(LocationEntry{agent, stored.node, stored.seq});
+  }
+  entries_.clear();
+  return extracted;
+}
+
+std::vector<LocationEntry> LocationTable::snapshot() const {
+  std::vector<LocationEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [agent, stored] : entries_) {
+    out.push_back(LocationEntry{agent, stored.node, stored.seq});
+  }
+  return out;
+}
+
+void LoadWindow::record(platform::AgentId agent) {
+  ++open_counts_[agent];
+  ++open_total_;
+}
+
+void LoadWindow::roll() {
+  closed_counts_ = std::move(open_counts_);
+  closed_total_ = open_total_;
+  open_counts_.clear();
+  open_total_ = 0;
+  ++rolls_;
+}
+
+double LoadWindow::rate() const noexcept {
+  const double seconds = window_.as_seconds();
+  return seconds > 0 ? static_cast<double>(closed_total_) / seconds : 0.0;
+}
+
+std::vector<AgentLoad> LoadWindow::loads() const {
+  std::vector<AgentLoad> out;
+  out.reserve(closed_counts_.size());
+  for (const auto& [agent, count] : closed_counts_) {
+    out.push_back(AgentLoad{agent, count});
+  }
+  return out;
+}
+
+}  // namespace agentloc::core

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "sim/time.hpp"
+
+namespace agentloc::core {
+
+/// The location table held by a tracking agent (an IAgent, or the single
+/// tracker of the centralized baseline): agent id → (node, seq).
+///
+/// All mutations are sequence-checked so reordered or duplicated updates
+/// cannot roll a location back (see `LocationEntry::seq`).
+class LocationTable {
+ public:
+  /// Insert or update; returns false when `entry.seq` is not newer than the
+  /// stored sequence (stale update — ignored).
+  bool apply(const LocationEntry& entry);
+
+  /// Remove if the stored sequence is not newer; returns whether removed.
+  bool remove(platform::AgentId agent, std::uint64_t seq);
+
+  std::optional<LocationEntry> find(platform::AgentId agent) const;
+  bool contains(platform::AgentId agent) const {
+    return entries_.contains(agent);
+  }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Remove and return every entry matching `predicate` — the handoff scan
+  /// performed when responsibility shrinks.
+  std::vector<LocationEntry> extract_matching(const Predicate& predicate);
+
+  /// Remove and return everything (retirement).
+  std::vector<LocationEntry> extract_all();
+
+  std::vector<LocationEntry> snapshot() const;
+
+ private:
+  struct Stored {
+    net::NodeId node;
+    std::uint64_t seq;
+  };
+  std::unordered_map<platform::AgentId, Stored> entries_;
+};
+
+/// Windowed request-rate statistics (paper §4: "we maintain running
+/// statistics of the requests received by each IAgent" and, per agent, "the
+/// accumulated rate of update and query requests").
+///
+/// `record` counts a request in the open window; `roll` closes it. Threshold
+/// decisions and split planning read the *closed* window, so they always see
+/// a full interval.
+class LoadWindow {
+ public:
+  explicit LoadWindow(sim::SimTime window) : window_(window) {}
+
+  sim::SimTime window() const noexcept { return window_; }
+
+  void record(platform::AgentId agent);
+
+  /// Close the current window.
+  void roll();
+
+  /// Requests/second over the last closed window.
+  double rate() const noexcept;
+
+  /// Total requests in the last closed window.
+  std::uint64_t total() const noexcept { return closed_total_; }
+
+  /// Per-agent request counts of the last closed window, unordered.
+  std::vector<AgentLoad> loads() const;
+
+  /// Number of windows closed so far.
+  std::uint64_t rolls() const noexcept { return rolls_; }
+
+ private:
+  sim::SimTime window_;
+  std::unordered_map<platform::AgentId, std::uint32_t> open_counts_;
+  std::uint64_t open_total_ = 0;
+  std::unordered_map<platform::AgentId, std::uint32_t> closed_counts_;
+  std::uint64_t closed_total_ = 0;
+  std::uint64_t rolls_ = 0;
+};
+
+}  // namespace agentloc::core

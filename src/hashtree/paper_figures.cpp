@@ -1,0 +1,54 @@
+#include "hashtree/paper_figures.hpp"
+
+#include "util/bytebuffer.hpp"
+
+namespace agentloc::hashtree {
+
+std::string paper_name(IAgentId id) {
+  return "IA" + std::to_string(id - 1);
+}
+
+namespace {
+
+void write_internal(util::ByteWriter& w, const char* label) {
+  w.write_u8(0);
+  w.write_bits(util::BitString::parse(label));
+}
+
+void write_leaf(util::ByteWriter& w, const char* label, IAgentId id,
+                NodeLocation location) {
+  w.write_u8(1);
+  w.write_bits(util::BitString::parse(label));
+  w.write_varint(id);
+  w.write_u32(location);
+}
+
+}  // namespace
+
+HashTree figure1_tree() {
+  // Built through the (validated) wire format: the multi-bit labels of
+  // Figure 1 are remnants of merges that happened before the figure's
+  // snapshot, so they cannot all be produced by splits from a fresh tree.
+  util::ByteWriter w;
+  w.write_u32(0x48545245);  // magic
+  w.write_varint(1);        // version
+
+  write_internal(w, "");  // root, no padding
+  /**/ write_internal(w, "0");  // X
+  /****/ write_internal(w, "011");  // Y
+  /******/ write_leaf(w, "0", kIA2, 2);
+  /******/ write_internal(w, "1");  // V
+  /********/ write_leaf(w, "0", kIA0, 0);
+  /********/ write_leaf(w, "1", kIA4, 4);
+  /****/ write_leaf(w, "10", kIA1, 1);
+  /**/ write_internal(w, "1");  // Z
+  /****/ write_leaf(w, "0", kIA3, 3);
+  /****/ write_internal(w, "1");  // W
+  /******/ write_leaf(w, "0", kIA5, 5);
+  /******/ write_leaf(w, "1", kIA6, 6);
+
+  util::ByteReader reader(w.bytes());
+  return HashTree::deserialize(reader);
+}
+
+}  // namespace agentloc::hashtree

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "hashtree/tree.hpp"
+
+namespace agentloc::hashtree {
+
+/// IAgent ids of the paper's running example (Figure 1). The paper labels
+/// its leaves IA0…IA6; id 0 is reserved, so IAk gets id k+1. `paper_name`
+/// converts back for rendering.
+inline constexpr IAgentId kIA0 = 1;
+inline constexpr IAgentId kIA1 = 2;
+inline constexpr IAgentId kIA2 = 3;
+inline constexpr IAgentId kIA3 = 4;
+inline constexpr IAgentId kIA4 = 5;
+inline constexpr IAgentId kIA5 = 6;
+inline constexpr IAgentId kIA6 = 7;
+inline constexpr IAgentId kIA7 = 8;
+
+/// "IA3" for the id of kIA3.
+std::string paper_name(IAgentId id);
+
+/// The hash tree of the paper's Figure 1 (digits reconstructed; see
+/// DESIGN.md §5). Hyper-labels:
+///
+///   IA0 = 0.011.1.0   IA1 = 0.10     IA2 = 0.011.0
+///   IA3 = 1.0         IA4 = 0.011.1.1
+///   IA5 = 1.1.0       IA6 = 1.1.1
+///
+/// This reproduces every worked example in §3–§4:
+///  * IA2's hyper-label is compatible with prefix 00110… (Figure 2);
+///  * IA3 ("1.0", all labels one bit) is the simple-split example (Figure 3);
+///  * IA1 ("0.10", multi-bit label) is the complex-split example (Figure 4);
+///  * IA6's sibling IA5 is a leaf — the simple-merge example (Figure 5);
+///  * IA1's sibling is internal — the complex-merge example (Figure 6).
+///
+/// Every IAgent is placed at node k (IAk at node k) for illustration.
+HashTree figure1_tree();
+
+}  // namespace agentloc::hashtree

@@ -1,0 +1,187 @@
+// Rehashing operations of the hash tree (paper §4): simple/complex split and
+// simple/complex merge. See DESIGN.md §6 for the label bookkeeping rules.
+
+#include <stdexcept>
+#include <utility>
+
+#include "hashtree/tree.hpp"
+
+namespace agentloc::hashtree {
+
+void HashTree::simple_split(IAgentId victim, std::size_t m,
+                            IAgentId new_iagent, NodeLocation new_location) {
+  if (m == 0) {
+    throw std::invalid_argument("simple_split: m must be >= 1");
+  }
+  if (new_iagent == kNoIAgent || leaf_index_.contains(new_iagent)) {
+    throw std::invalid_argument("simple_split: bad new IAgent id");
+  }
+  Node* leaf = leaf_for(victim);
+
+  // Splitting "on the m-th bit": the m-1 bits before it stop discriminating
+  // and are recorded as padding on the incoming edge (root padding when the
+  // leaf is the root).
+  for (std::size_t i = 1; i < m; ++i) leaf->label.push_back(false);
+
+  auto zero = std::make_unique<Node>();
+  zero->label = util::BitString{false};
+  zero->parent = leaf;
+  zero->iagent = victim;
+  zero->location = leaf->location;
+
+  auto one = std::make_unique<Node>();
+  one->label = util::BitString{true};
+  one->parent = leaf;
+  one->iagent = new_iagent;
+  one->location = new_location;
+
+  leaf_index_[victim] = zero.get();
+  leaf_index_.emplace(new_iagent, one.get());
+
+  leaf->iagent = kNoIAgent;
+  leaf->location = 0;
+  leaf->child[0] = std::move(zero);
+  leaf->child[1] = std::move(one);
+  bump_version();
+}
+
+std::vector<SplitPoint> HashTree::complex_split_candidates(
+    IAgentId victim) const {
+  const auto segments = hyper_label_segments(victim);
+  std::vector<SplitPoint> candidates;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    // Segment 0 is the root padding: every bit is reclaimable. For edge
+    // labels the first bit is the valid bit; only the rest are padding.
+    const std::size_t first = s == 0 ? 0 : 1;
+    for (std::size_t b = first; b < segments[s].size(); ++b) {
+      candidates.push_back(SplitPoint{s, b});
+    }
+  }
+  return candidates;
+}
+
+std::size_t HashTree::split_point_bit_position(IAgentId victim,
+                                               const SplitPoint& point) const {
+  const auto segments = hyper_label_segments(victim);
+  if (point.segment >= segments.size()) {
+    throw std::out_of_range("split_point_bit_position: segment");
+  }
+  std::size_t position = 0;
+  for (std::size_t s = 0; s < point.segment; ++s) {
+    position += segments[s].size();
+  }
+  if (point.bit >= segments[point.segment].size()) {
+    throw std::out_of_range("split_point_bit_position: bit");
+  }
+  return position + point.bit;
+}
+
+void HashTree::complex_split(IAgentId victim, const SplitPoint& point,
+                             IAgentId new_iagent, NodeLocation new_location) {
+  if (new_iagent == kNoIAgent || leaf_index_.contains(new_iagent)) {
+    throw std::invalid_argument("complex_split: bad new IAgent id");
+  }
+  // Locate the node whose (incoming) label carries the padding bit.
+  auto path_nodes = path_to(leaf_for(victim));
+  if (point.segment >= path_nodes.size()) {
+    throw std::out_of_range("complex_split: segment");
+  }
+  Node* v = const_cast<Node*>(path_nodes[point.segment]);
+  const util::BitString label = v->label;
+  const std::size_t j = point.bit;
+  const std::size_t k = label.size();
+  const std::size_t first_padding = point.segment == 0 ? 0 : 1;
+  if (j < first_padding || j >= k) {
+    throw std::out_of_range("complex_split: bit is not a padding bit");
+  }
+
+  // The reclaimed bit becomes the valid bit of the relocated subtree's edge;
+  // the new leaf sits on the complementary side with identical trailing
+  // padding (the trailing bits are wildcards either way).
+  const bool reclaimed = label[j];
+  util::BitString upper = label.prefix(j);
+  util::BitString lower = label.suffix_from(j);
+  util::BitString fresh;
+  fresh.push_back(!reclaimed);
+  fresh.append(label.suffix_from(j + 1));
+
+  auto new_leaf = std::make_unique<Node>();
+  new_leaf->label = std::move(fresh);
+  new_leaf->iagent = new_iagent;
+  new_leaf->location = new_location;
+
+  if (point.segment == 0) {
+    // Reclaiming root padding: a new root keeps the unreclaimed prefix; the
+    // old root descends on the side of the reclaimed bit's recorded value.
+    auto new_root = std::make_unique<Node>();
+    new_root->label = std::move(upper);
+    std::unique_ptr<Node> old_root = std::move(root_);
+    old_root->label = std::move(lower);
+    old_root->parent = new_root.get();
+    new_leaf->parent = new_root.get();
+    new_root->child[reclaimed ? 1 : 0] = std::move(old_root);
+    new_root->child[reclaimed ? 0 : 1] = std::move(new_leaf);
+    leaf_index_.emplace(new_iagent,
+                        new_root->child[reclaimed ? 0 : 1].get());
+    root_ = std::move(new_root);
+  } else {
+    Node* u = v->parent;
+    const bool side = label.front();
+    auto w = std::make_unique<Node>();
+    w->label = std::move(upper);
+    w->parent = u;
+    std::unique_ptr<Node> v_owned = std::move(u->child[side ? 1 : 0]);
+    v_owned->label = std::move(lower);
+    v_owned->parent = w.get();
+    new_leaf->parent = w.get();
+    w->child[reclaimed ? 1 : 0] = std::move(v_owned);
+    w->child[reclaimed ? 0 : 1] = std::move(new_leaf);
+    leaf_index_.emplace(new_iagent, w->child[reclaimed ? 0 : 1].get());
+    u->child[side ? 1 : 0] = std::move(w);
+  }
+  bump_version();
+}
+
+MergeResult HashTree::merge(IAgentId victim) {
+  Node* leaf = leaf_for(victim);
+  if (leaf == root_.get()) {
+    throw std::logic_error("merge: cannot merge the last IAgent");
+  }
+  Node* parent = leaf->parent;
+  const bool side = leaf->label.front();
+  Node* sibling = parent->child[side ? 0 : 1].get();
+
+  leaf_index_.erase(victim);
+  MergeResult result;
+
+  if (sibling->is_leaf()) {
+    // Simple merge (paper Figure 5): the sibling absorbs the load and moves
+    // up to the parent position; the tree height may shrink.
+    result.kind = MergeResult::Kind::kSimple;
+    result.into_iagent = sibling->iagent;
+    parent->iagent = sibling->iagent;
+    parent->location = sibling->location;
+    leaf_index_[parent->iagent] = parent;
+    parent->child[0].reset();
+    parent->child[1].reset();
+  } else {
+    // Complex merge (paper Figure 6): splice the sibling subtree into the
+    // parent position. Concatenating the labels turns the sibling's valid
+    // bit into padding, so every surviving leaf keeps its exact agent set
+    // and bit positions — only the victim's agents remap (by re-lookup).
+    result.kind = MergeResult::Kind::kComplex;
+    parent->label.append(sibling->label);
+    std::unique_ptr<Node> c0 = std::move(sibling->child[0]);
+    std::unique_ptr<Node> c1 = std::move(sibling->child[1]);
+    c0->parent = parent;
+    c1->parent = parent;
+    parent->child[side ? 0 : 1].reset();  // destroys the sibling shell
+    parent->child[side ? 1 : 0].reset();  // destroys the merged leaf
+    parent->child[0] = std::move(c0);
+    parent->child[1] = std::move(c1);
+  }
+  bump_version();
+  return result;
+}
+
+}  // namespace agentloc::hashtree

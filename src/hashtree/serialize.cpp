@@ -1,0 +1,84 @@
+// Wire format of the hash tree: what the HAgent ships to LHAgents when a
+// secondary copy refreshes. Preorder encoding, one flag byte per node.
+
+#include <stdexcept>
+
+#include "hashtree/tree.hpp"
+
+namespace agentloc::hashtree {
+
+namespace {
+constexpr std::uint8_t kLeafFlag = 1;
+constexpr std::uint8_t kInternalFlag = 0;
+constexpr std::uint32_t kMagic = 0x48545245;  // "HTRE"
+}  // namespace
+
+void HashTree::serialize(util::ByteWriter& writer) const {
+  writer.write_u32(kMagic);
+  writer.write_varint(version_);
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    writer.write_u8(node->is_leaf() ? kLeafFlag : kInternalFlag);
+    writer.write_bits(node->label);
+    if (node->is_leaf()) {
+      writer.write_varint(node->iagent);
+      writer.write_u32(node->location);
+    } else {
+      stack.push_back(node->child[1].get());
+      stack.push_back(node->child[0].get());
+    }
+  }
+}
+
+HashTree HashTree::deserialize(util::ByteReader& reader) {
+  if (reader.read_u32() != kMagic) {
+    throw std::invalid_argument("HashTree::deserialize: bad magic");
+  }
+  const std::uint64_t version = reader.read_varint();
+
+  // Read the preorder stream recursively, then adopt the result.
+  struct Builder {
+    static std::unique_ptr<Node> read(util::ByteReader& reader,
+                                      std::size_t depth) {
+      if (depth > 512) {
+        throw std::invalid_argument("HashTree::deserialize: tree too deep");
+      }
+      const std::uint8_t flag = reader.read_u8();
+      auto node = std::make_unique<Node>();
+      node->label = reader.read_bits();
+      if (flag == kLeafFlag) {
+        node->iagent = reader.read_varint();
+        node->location = static_cast<NodeLocation>(reader.read_u32());
+        if (node->iagent == kNoIAgent) {
+          throw std::invalid_argument(
+              "HashTree::deserialize: leaf without IAgent");
+        }
+      } else if (flag == kInternalFlag) {
+        node->child[0] = read(reader, depth + 1);
+        node->child[1] = read(reader, depth + 1);
+        node->child[0]->parent = node.get();
+        node->child[1]->parent = node.get();
+      } else {
+        throw std::invalid_argument("HashTree::deserialize: bad node flag");
+      }
+      return node;
+    }
+  };
+
+  HashTree tree(kNoIAgent + 1, 0);  // placeholder root, replaced below
+  tree.root_ = Builder::read(reader, 0);
+  tree.version_ = version;
+  tree.rebuild_index();
+  tree.validate();
+  return tree;
+}
+
+std::size_t HashTree::serialized_bytes() const {
+  util::ByteWriter writer;
+  serialize(writer);
+  return writer.size();
+}
+
+}  // namespace agentloc::hashtree

@@ -1,0 +1,310 @@
+#include "hashtree/tree.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <stdexcept>
+
+namespace agentloc::hashtree {
+
+HashTree::HashTree(IAgentId initial, NodeLocation location) {
+  if (initial == kNoIAgent) {
+    throw std::invalid_argument("HashTree: initial IAgent id must be nonzero");
+  }
+  root_ = std::make_unique<Node>();
+  root_->iagent = initial;
+  root_->location = location;
+  leaf_index_.emplace(initial, root_.get());
+}
+
+HashTree::HashTree(const HashTree& other) : version_(other.version_) {
+  root_ = clone_subtree(*other.root_, nullptr);
+  rebuild_index();
+}
+
+HashTree& HashTree::operator=(const HashTree& other) {
+  if (this == &other) return *this;
+  version_ = other.version_;
+  root_ = clone_subtree(*other.root_, nullptr);
+  rebuild_index();
+  return *this;
+}
+
+std::unique_ptr<HashTree::Node> HashTree::clone_subtree(const Node& node,
+                                                        Node* parent) {
+  auto copy = std::make_unique<Node>();
+  copy->label = node.label;
+  copy->parent = parent;
+  copy->iagent = node.iagent;
+  copy->location = node.location;
+  if (!node.is_leaf()) {
+    copy->child[0] = clone_subtree(*node.child[0], copy.get());
+    copy->child[1] = clone_subtree(*node.child[1], copy.get());
+  }
+  return copy;
+}
+
+void HashTree::rebuild_index() {
+  leaf_index_.clear();
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      leaf_index_.emplace(node->iagent, node);
+    } else {
+      stack.push_back(node->child[1].get());
+      stack.push_back(node->child[0].get());
+    }
+  }
+}
+
+HashTree::Node* HashTree::leaf_for(IAgentId id) {
+  const auto it = leaf_index_.find(id);
+  if (it == leaf_index_.end()) {
+    throw std::out_of_range("HashTree: unknown IAgent id");
+  }
+  return it->second;
+}
+
+const HashTree::Node* HashTree::leaf_for(IAgentId id) const {
+  const auto it = leaf_index_.find(id);
+  if (it == leaf_index_.end()) {
+    throw std::out_of_range("HashTree: unknown IAgent id");
+  }
+  return it->second;
+}
+
+const HashTree::Node* HashTree::descend(
+    const util::BitString& id_bits) const {
+  const Node* node = root_.get();
+  // Bits consumed so far; the root padding is skipped outright.
+  std::size_t pos = root_->label.size();
+  while (!node->is_leaf()) {
+    // Missing bits (id shorter than the path) read as zero.
+    const bool bit = pos < id_bits.size() && id_bits[pos];
+    const Node* next = node->child[bit ? 1 : 0].get();
+    pos += next->label.size();  // valid bit + padding of the taken edge
+    node = next;
+  }
+  return node;
+}
+
+HashTree::Target HashTree::lookup(const util::BitString& id_bits) const {
+  const Node* leaf = descend(id_bits);
+  return Target{leaf->iagent, leaf->location};
+}
+
+HashTree::Target HashTree::lookup_id(std::uint64_t id) const {
+  return lookup(util::BitString::from_uint(id, 64));
+}
+
+bool HashTree::compatible(const util::BitString& id_bits,
+                          IAgentId leaf) const {
+  // Paper §3: a prefix is compatible with a hyper-label iff the valid bit of
+  // each label equals the id bit at the label's position within the
+  // hyper-label. The root padding contributes no valid bit.
+  const auto segments = hyper_label_segments(leaf);
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (i > 0) {
+      const bool id_bit = pos < id_bits.size() && id_bits[pos];
+      if (segments[i].front() != id_bit) return false;
+    }
+    pos += segments[i].size();
+  }
+  return true;
+}
+
+NodeLocation HashTree::location_of(IAgentId leaf) const {
+  return leaf_for(leaf)->location;
+}
+
+void HashTree::set_location(IAgentId leaf, NodeLocation location) {
+  leaf_for(leaf)->location = location;
+  bump_version();
+}
+
+std::vector<const HashTree::Node*> HashTree::path_to(const Node* leaf) const {
+  std::vector<const Node*> path;
+  for (const Node* node = leaf; node != nullptr; node = node->parent) {
+    path.push_back(node);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<util::BitString> HashTree::hyper_label_segments(
+    IAgentId leaf) const {
+  const auto path = path_to(leaf_for(leaf));
+  std::vector<util::BitString> segments;
+  segments.reserve(path.size());
+  for (const Node* node : path) segments.push_back(node->label);
+  return segments;
+}
+
+std::string HashTree::hyper_label(IAgentId leaf) const {
+  const auto segments = hyper_label_segments(leaf);
+  std::string out;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (i == 0) {
+      if (segments[0].empty()) continue;
+      out += "(pad " + segments[0].to_string() + ")";
+      continue;
+    }
+    if (!out.empty()) out += '.';
+    out += segments[i].to_string();
+  }
+  return out;
+}
+
+std::size_t HashTree::depth_bits(IAgentId leaf) const {
+  std::size_t bits = 0;
+  for (const auto& segment : hyper_label_segments(leaf)) {
+    bits += segment.size();
+  }
+  return bits;
+}
+
+std::size_t HashTree::height() const {
+  std::size_t best = 0;
+  std::vector<std::pair<const Node*, std::size_t>> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      best = std::max(best, depth);
+    } else {
+      stack.emplace_back(node->child[0].get(), depth + 1);
+      stack.emplace_back(node->child[1].get(), depth + 1);
+    }
+  }
+  return best;
+}
+
+std::vector<IAgentId> HashTree::leaves() const {
+  std::vector<IAgentId> out;
+  out.reserve(leaf_index_.size());
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      out.push_back(node->iagent);
+    } else {
+      stack.push_back(node->child[1].get());
+      stack.push_back(node->child[0].get());
+    }
+  }
+  return out;
+}
+
+void HashTree::for_each_leaf(
+    const std::function<void(IAgentId, NodeLocation)>& fn) const {
+  for (IAgentId id : leaves()) {
+    fn(id, leaf_index_.at(id)->location);
+  }
+}
+
+HashTree::Stats HashTree::stats() const {
+  Stats out;
+  std::size_t depth_sum = 0;
+  std::vector<std::tuple<const Node*, std::size_t, std::size_t>> stack{
+      {root_.get(), 0, 0}};
+  while (!stack.empty()) {
+    const auto [node, depth_edges, depth_bits] = stack.back();
+    stack.pop_back();
+    const std::size_t bits_here = depth_bits + node->label.size();
+    out.total_label_bits += node->label.size();
+    // Only the valid (first) bit of a non-root edge label discriminates.
+    out.padding_bits += node == root_.get()
+                            ? node->label.size()
+                            : node->label.size() - 1;
+    if (node->is_leaf()) {
+      ++out.leaves;
+      depth_sum += bits_here;
+      if (out.leaves == 1) {
+        out.min_depth_bits = out.max_depth_bits = bits_here;
+      } else {
+        out.min_depth_bits = std::min(out.min_depth_bits, bits_here);
+        out.max_depth_bits = std::max(out.max_depth_bits, bits_here);
+      }
+      out.height = std::max(out.height, depth_edges);
+    } else {
+      ++out.internal_nodes;
+      stack.emplace_back(node->child[0].get(), depth_edges + 1, bits_here);
+      stack.emplace_back(node->child[1].get(), depth_edges + 1, bits_here);
+    }
+  }
+  out.mean_depth_bits =
+      out.leaves > 0 ? static_cast<double>(depth_sum) /
+                           static_cast<double>(out.leaves)
+                     : 0.0;
+  return out;
+}
+
+void HashTree::validate() const {
+  std::size_t leaf_seen = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    const bool has0 = node->child[0] != nullptr;
+    const bool has1 = node->child[1] != nullptr;
+    if (has0 != has1) {
+      throw std::logic_error("HashTree: node with exactly one child");
+    }
+    if (node != root_.get()) {
+      if (node->label.empty()) {
+        throw std::logic_error("HashTree: non-root node with empty label");
+      }
+      const bool side = node->parent->child[1].get() == node;
+      if (node->label.front() != side) {
+        throw std::logic_error(
+            "HashTree: valid bit disagrees with child position");
+      }
+    }
+    if (node->is_leaf()) {
+      ++leaf_seen;
+      if (node->iagent == kNoIAgent) {
+        throw std::logic_error("HashTree: leaf without IAgent id");
+      }
+      const auto it = leaf_index_.find(node->iagent);
+      if (it == leaf_index_.end() || it->second != node) {
+        throw std::logic_error("HashTree: leaf index inconsistent");
+      }
+    } else {
+      if (node->iagent != kNoIAgent) {
+        throw std::logic_error("HashTree: internal node carries IAgent id");
+      }
+      if (node->child[0]->parent != node || node->child[1]->parent != node) {
+        throw std::logic_error("HashTree: broken parent pointer");
+      }
+      stack.push_back(node->child[0].get());
+      stack.push_back(node->child[1].get());
+    }
+  }
+  if (leaf_seen != leaf_index_.size()) {
+    throw std::logic_error("HashTree: index size mismatch");
+  }
+}
+
+bool operator==(const HashTree& a, const HashTree& b) {
+  if (a.version_ != b.version_) return false;
+  std::vector<std::pair<const HashTree::Node*, const HashTree::Node*>> stack{
+      {a.root_.get(), b.root_.get()}};
+  while (!stack.empty()) {
+    const auto [na, nb] = stack.back();
+    stack.pop_back();
+    if (na->label != nb->label || na->iagent != nb->iagent ||
+        na->location != nb->location || na->is_leaf() != nb->is_leaf()) {
+      return false;
+    }
+    if (!na->is_leaf()) {
+      stack.emplace_back(na->child[0].get(), nb->child[0].get());
+      stack.emplace_back(na->child[1].get(), nb->child[1].get());
+    }
+  }
+  return true;
+}
+
+}  // namespace agentloc::hashtree

@@ -1,0 +1,46 @@
+#include "net/latency.hpp"
+
+namespace agentloc::net {
+
+sim::SimTime LanLatencyModel::latency(NodeId from, NodeId to,
+                                      std::size_t bytes, util::Rng& rng) {
+  if (from == to) return config_.loopback;
+  sim::SimTime value =
+      config_.base +
+      sim::SimTime::nanos(static_cast<std::int64_t>(
+          config_.per_byte_ns * static_cast<double>(bytes)));
+  if (config_.jitter > sim::SimTime::zero()) {
+    value += sim::SimTime::nanos(static_cast<std::int64_t>(
+        rng.uniform() * static_cast<double>(config_.jitter.as_nanos())));
+  }
+  return value;
+}
+
+sim::SimTime UniformLatencyModel::latency(NodeId, NodeId, std::size_t,
+                                          util::Rng& rng) {
+  const double span =
+      static_cast<double>((hi_ - lo_).as_nanos());
+  return lo_ + sim::SimTime::nanos(
+                   static_cast<std::int64_t>(rng.uniform() * span));
+}
+
+sim::SimTime ClusterLatencyModel::latency(NodeId from, NodeId to,
+                                          std::size_t bytes,
+                                          util::Rng& rng) {
+  sim::SimTime value = lan_.latency(from, to, bytes, rng);
+  if (from != to && !same_cluster(from, to)) {
+    value += config_.wan_hop;
+    if (config_.wan_jitter > sim::SimTime::zero()) {
+      value += sim::SimTime::nanos(static_cast<std::int64_t>(
+          rng.uniform() *
+          static_cast<double>(config_.wan_jitter.as_nanos())));
+    }
+  }
+  return value;
+}
+
+std::unique_ptr<LatencyModel> make_default_lan_model() {
+  return std::make_unique<LanLatencyModel>();
+}
+
+}  // namespace agentloc::net

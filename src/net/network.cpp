@@ -1,0 +1,57 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace agentloc::net {
+
+Network::Network(sim::Simulator& simulator, std::size_t node_count,
+                 std::unique_ptr<LatencyModel> latency, util::Rng rng)
+    : simulator_(simulator),
+      node_count_(node_count),
+      latency_(std::move(latency)),
+      rng_(rng),
+      per_node_delivered_(node_count, 0) {
+  if (node_count_ == 0) {
+    throw std::invalid_argument("Network: node_count must be > 0");
+  }
+  if (!latency_) {
+    throw std::invalid_argument("Network: latency model required");
+  }
+}
+
+bool Network::send(NodeId from, NodeId to, std::size_t bytes,
+                   std::function<void()> deliver) {
+  if (from >= node_count_ || to >= node_count_) {
+    throw std::out_of_range("Network::send: node id out of range");
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+
+  if (from != to && faults_.partitioned(from, to)) {
+    ++stats_.messages_dropped;
+    return false;
+  }
+  if (from != to && rng_.chance(faults_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return false;
+  }
+  schedule_delivery(from, to, bytes, deliver);
+  if (from != to && rng_.chance(faults_.duplicate_probability)) {
+    ++stats_.messages_duplicated;
+    schedule_delivery(from, to, bytes, deliver);
+  }
+  return true;
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, std::size_t bytes,
+                                const std::function<void()>& deliver) {
+  const sim::SimTime delay = latency_->latency(from, to, bytes, rng_);
+  simulator_.schedule_after(delay, [this, to, deliver] {
+    ++stats_.messages_delivered;
+    ++per_node_delivered_[to];
+    deliver();
+  });
+}
+
+}  // namespace agentloc::net

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace agentloc::net {
+
+/// Fault-injection plan applied to every transmission.
+///
+/// Used by the robustness test suites: the location protocol must converge
+/// despite dropped or duplicated messages (requests are retried end-to-end)
+/// and must keep node-local operations working across partitions.
+struct FaultPlan {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+
+  /// Unordered node pairs that currently cannot exchange messages.
+  std::set<std::pair<NodeId, NodeId>> partitions;
+
+  bool partitioned(NodeId a, NodeId b) const {
+    if (a > b) std::swap(a, b);
+    return partitions.contains({a, b});
+  }
+  void set_partitioned(NodeId a, NodeId b, bool value) {
+    if (a > b) std::swap(a, b);
+    if (value) {
+      partitions.insert({a, b});
+    } else {
+      partitions.erase({a, b});
+    }
+  }
+};
+
+/// Aggregate transmission counters, exposed to benches that report message
+/// overhead alongside location time.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Simulated datagram network.
+///
+/// `send` charges the latency model for the serialized size and schedules the
+/// delivery thunk on the simulator; the caller (the agent platform) captures
+/// its typed message inside the thunk, so this layer stays payload-agnostic.
+/// Delivery is unordered (jitter may reorder) and, under a fault plan,
+/// unreliable — exactly the properties the location protocol must tolerate.
+class Network {
+ public:
+  Network(sim::Simulator& simulator, std::size_t node_count,
+          std::unique_ptr<LatencyModel> latency, util::Rng rng);
+
+  std::size_t node_count() const noexcept { return node_count_; }
+  sim::Simulator& simulator() noexcept { return simulator_; }
+
+  /// Transmit `bytes` from `from` to `to`; on (each) delivery run `deliver`.
+  /// Returns false when the fault plan swallowed the message entirely.
+  bool send(NodeId from, NodeId to, std::size_t bytes,
+            std::function<void()> deliver);
+
+  FaultPlan& faults() noexcept { return faults_; }
+  const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = NetworkStats{}; }
+
+  /// Per-node delivered-message counters (index = node id).
+  const std::vector<std::uint64_t>& per_node_delivered() const noexcept {
+    return per_node_delivered_;
+  }
+
+ private:
+  void schedule_delivery(NodeId from, NodeId to, std::size_t bytes,
+                         const std::function<void()>& deliver);
+
+  sim::Simulator& simulator_;
+  std::size_t node_count_;
+  std::unique_ptr<LatencyModel> latency_;
+  util::Rng rng_;
+  FaultPlan faults_;
+  NetworkStats stats_;
+  std::vector<std::uint64_t> per_node_delivered_;
+};
+
+}  // namespace agentloc::net

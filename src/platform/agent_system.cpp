@@ -1,0 +1,402 @@
+#include "platform/agent_system.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace agentloc::platform {
+
+std::ostream& operator<<(std::ostream& os, const AgentAddress& address) {
+  return os << "node" << address.node << "/agent" << address.agent;
+}
+
+AgentSystem::AgentSystem(sim::Simulator& simulator, net::Network& network)
+    : AgentSystem(simulator, network, Config{}) {}
+
+AgentSystem::AgentSystem(sim::Simulator& simulator, net::Network& network,
+                         Config config)
+    : simulator_(simulator),
+      network_(network),
+      config_(config),
+      services_(network.node_count()) {}
+
+AgentSystem::~AgentSystem() = default;
+
+AgentId AgentSystem::allocate_id() {
+  for (;;) {
+    ++id_counter_;
+    const AgentId id =
+        config_.mixed_ids ? util::mix64(id_counter_) : id_counter_;
+    if (id != kNoAgent && !records_.contains(id)) return id;
+  }
+}
+
+void AgentSystem::install(std::unique_ptr<Agent> owned, net::NodeId node) {
+  if (node >= network_.node_count()) {
+    throw std::out_of_range("AgentSystem::create: node out of range");
+  }
+  Agent& agent = *owned;
+  agent.system_ = this;
+  agent.id_ = allocate_id();
+  agent.node_ = node;
+
+  Record record;
+  record.agent = std::move(owned);
+  const AgentId id = agent.id();
+  const std::uint64_t epoch = record.epoch;
+  records_.emplace(id, std::move(record));
+  ++stats_.agents_created;
+
+  simulator_.schedule_after(sim::SimTime::zero(), [this, id, epoch] {
+    const auto it = records_.find(id);
+    if (it == records_.end() || it->second.epoch != epoch) return;
+    it->second.agent->on_start();
+  });
+}
+
+void AgentSystem::dispose(AgentId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  Record& record = it->second;
+  ++record.epoch;
+
+  // Queued messages can no longer be served; bounce them to their senders.
+  for (Message& message : record.inbox) bounce(message);
+  record.inbox.clear();
+
+  drop_rpcs_from(id);
+
+  // Remove any service registrations pointing at the agent.
+  const net::NodeId node = record.agent->node();
+  if (node < services_.size()) {
+    auto& local = services_[node];
+    for (auto sit = local.begin(); sit != local.end();) {
+      sit = sit->second == id ? local.erase(sit) : std::next(sit);
+    }
+  }
+
+  record.agent->on_dispose();
+  record.agent->system_ = nullptr;
+
+  // The agent may be disposing itself from inside one of its own callbacks;
+  // defer destruction until the stack unwinds.
+  graveyard_.push_back(std::move(record.agent));
+  records_.erase(it);
+  ++stats_.agents_disposed;
+  if (!graveyard_sweep_scheduled_) {
+    graveyard_sweep_scheduled_ = true;
+    simulator_.schedule_after(sim::SimTime::zero(), [this] {
+      graveyard_sweep_scheduled_ = false;
+      graveyard_.clear();
+    });
+  }
+}
+
+void AgentSystem::migrate(AgentId id, net::NodeId destination) {
+  if (destination >= network_.node_count()) {
+    throw std::out_of_range("AgentSystem::migrate: node out of range");
+  }
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw std::logic_error("AgentSystem::migrate: unknown agent");
+  }
+  Record& record = it->second;
+  if (record.state != State::kActive) {
+    throw std::logic_error("AgentSystem::migrate: agent already in transit");
+  }
+
+  const net::NodeId source = record.agent->node();
+  ++record.epoch;
+  record.state = State::kInTransit;
+  record.serving = false;
+  for (Message& message : record.inbox) bounce(message);
+  record.inbox.clear();
+
+  // A mobile service provider leaves its registrations behind.
+  auto& local = services_[source];
+  for (auto sit = local.begin(); sit != local.end();) {
+    sit = sit->second == id ? local.erase(sit) : std::next(sit);
+  }
+
+  record.agent->node_ = net::kNoNode;
+  ++stats_.migrations_started;
+  ship_migration(id, record.epoch, source, destination,
+                 record.agent->serialized_size());
+}
+
+void AgentSystem::ship_migration(AgentId id, std::uint64_t epoch,
+                                 net::NodeId source, net::NodeId destination,
+                                 std::size_t bytes) {
+  const bool sent = network_.send(
+      source, destination, bytes, [this, id, epoch, source, destination] {
+        const auto it = records_.find(id);
+        if (it == records_.end() || it->second.epoch != epoch) return;
+        Record& record = it->second;
+        // A fault plan may duplicate the transfer; only the first copy
+        // installs the agent.
+        if (record.state != State::kInTransit) return;
+        record.state = State::kActive;
+        record.agent->node_ = destination;
+        ++stats_.migrations_completed;
+        record.agent->on_arrival(source);
+      });
+  if (!sent) {
+    // Migration rides reliable transport: retry until the fault plan lets
+    // it through (a partitioned destination delays, never loses, the agent).
+    simulator_.schedule_after(
+        config_.migration_retry,
+        [this, id, epoch, source, destination, bytes] {
+          const auto it = records_.find(id);
+          if (it == records_.end() || it->second.epoch != epoch) return;
+          ship_migration(id, epoch, source, destination, bytes);
+        });
+  }
+}
+
+void AgentSystem::send(AgentId from, const AgentAddress& to, std::any body,
+                       std::size_t wire_bytes) {
+  const auto it = records_.find(from);
+  if (it == records_.end() || it->second.state != State::kActive) {
+    throw std::logic_error("AgentSystem::send: sender not active");
+  }
+  Message message;
+  message.from = from;
+  message.from_node = it->second.agent->node();
+  message.to = to.agent;
+  message.wire_bytes = wire_bytes;
+  message.body = std::move(body);
+  transmit(std::move(message), to.node);
+}
+
+void AgentSystem::request(AgentId from, const AgentAddress& to, std::any body,
+                          std::size_t wire_bytes,
+                          std::function<void(RpcResult)> callback,
+                          std::optional<sim::SimTime> timeout) {
+  const auto it = records_.find(from);
+  if (it == records_.end() || it->second.state != State::kActive) {
+    throw std::logic_error("AgentSystem::request: sender not active");
+  }
+  const std::uint64_t correlation = ++correlation_counter_;
+
+  PendingRpc pending;
+  pending.from = from;
+  pending.callback = std::move(callback);
+  pending.timeout_event = simulator_.schedule_after(
+      timeout.value_or(config_.default_rpc_timeout), [this, correlation] {
+        const auto pit = pending_rpcs_.find(correlation);
+        if (pit == pending_rpcs_.end()) return;
+        auto cb = std::move(pit->second.callback);
+        pending_rpcs_.erase(pit);
+        ++stats_.rpc_timeouts;
+        RpcResult result;
+        result.status = RpcResult::Status::kTimeout;
+        cb(result);
+      });
+  pending_rpcs_.emplace(correlation, std::move(pending));
+
+  Message message;
+  message.from = from;
+  message.from_node = it->second.agent->node();
+  message.to = to.agent;
+  message.correlation = correlation;
+  message.wire_bytes = wire_bytes;
+  message.body = std::move(body);
+  transmit(std::move(message), to.node);
+}
+
+void AgentSystem::reply(const Message& request, AgentId from, std::any body,
+                        std::size_t wire_bytes) {
+  const auto it = records_.find(from);
+  if (it == records_.end() || it->second.state != State::kActive) {
+    throw std::logic_error("AgentSystem::reply: sender not active");
+  }
+  Message message;
+  message.from = from;
+  message.from_node = it->second.agent->node();
+  message.to = request.from;
+  message.correlation = request.correlation;
+  message.is_reply = true;
+  message.wire_bytes = wire_bytes;
+  message.body = std::move(body);
+  transmit(std::move(message), request.from_node);
+}
+
+void AgentSystem::transmit(Message message, net::NodeId to_node) {
+  ++stats_.messages_sent;
+  network_.send(message.from_node, to_node, message.wire_bytes,
+                [this, to_node, message = std::move(message)] {
+                  deliver(to_node, message);
+                });
+}
+
+void AgentSystem::deliver(net::NodeId node, Message message) {
+  const auto it = records_.find(message.to);
+  const bool present = it != records_.end() &&
+                       it->second.state == State::kActive &&
+                       it->second.agent->node() == node;
+  if (!present) {
+    bounce(message);
+    return;
+  }
+  enqueue(it->second, std::move(message));
+}
+
+void AgentSystem::enqueue(Record& record, Message message) {
+  record.inbox.push_back(std::move(message));
+  if (!record.serving) {
+    record.serving = true;
+    const AgentId id = record.agent->id();
+    const std::uint64_t epoch = record.epoch;
+    simulator_.schedule_after(config_.service_time,
+                              [this, id, epoch] { serve_next(id, epoch); });
+  }
+}
+
+void AgentSystem::serve_next(AgentId id, std::uint64_t epoch) {
+  auto it = records_.find(id);
+  if (it == records_.end() || it->second.epoch != epoch ||
+      !it->second.serving || it->second.inbox.empty()) {
+    return;
+  }
+  Message message = std::move(it->second.inbox.front());
+  it->second.inbox.pop_front();
+  ++stats_.messages_processed;
+  dispatch(*it->second.agent, message);
+
+  // The handler may have migrated or disposed the agent; re-resolve.
+  it = records_.find(id);
+  if (it == records_.end() || it->second.epoch != epoch) return;
+  if (it->second.inbox.empty()) {
+    it->second.serving = false;
+  } else {
+    simulator_.schedule_after(config_.service_time,
+                              [this, id, epoch] { serve_next(id, epoch); });
+  }
+}
+
+void AgentSystem::dispatch(Agent& agent, const Message& message) {
+  if (message.is_reply) {
+    RpcResult result;
+    result.status = RpcResult::Status::kOk;
+    result.reply = message;
+    complete_rpc(message.correlation, std::move(result));
+    return;
+  }
+  if (const auto* failure = message.body_as<DeliveryFailure>()) {
+    if (failure->correlation != 0 &&
+        pending_rpcs_.contains(failure->correlation)) {
+      RpcResult result;
+      result.status = RpcResult::Status::kDeliveryFailure;
+      complete_rpc(failure->correlation, std::move(result));
+    } else {
+      agent.on_delivery_failure(*failure);
+    }
+    return;
+  }
+  agent.on_message(message);
+}
+
+void AgentSystem::bounce(const Message& message) {
+  ++stats_.messages_bounced;
+  if (!config_.bounce_undeliverable) return;
+  // System messages (bounces themselves) are never bounced back: no loops.
+  if (message.from == kNoAgent || message.body.type() == typeid(DeliveryFailure)) {
+    return;
+  }
+  Message notice;
+  notice.from = kNoAgent;
+  notice.from_node = message.from_node;  // charged as a remote round trip
+  notice.to = message.from;
+  notice.wire_bytes = 64;
+  DeliveryFailure failure;
+  failure.attempted = AgentAddress{net::kNoNode, message.to};
+  failure.correlation = message.correlation;
+  notice.body = failure;
+  transmit(std::move(notice), message.from_node);
+}
+
+void AgentSystem::complete_rpc(std::uint64_t correlation, RpcResult result) {
+  const auto it = pending_rpcs_.find(correlation);
+  if (it == pending_rpcs_.end()) return;  // already timed out or completed
+  simulator_.cancel(it->second.timeout_event);
+  auto callback = std::move(it->second.callback);
+  pending_rpcs_.erase(it);
+  callback(std::move(result));
+}
+
+void AgentSystem::drop_rpcs_from(AgentId id) {
+  // Complete (rather than leak) the requests of a disposing agent: the
+  // callbacks are plain closures that may carry continuations beyond the
+  // agent itself, and they are written to tolerate the agent being gone.
+  std::vector<std::function<void(RpcResult)>> callbacks;
+  for (auto it = pending_rpcs_.begin(); it != pending_rpcs_.end();) {
+    if (it->second.from == id) {
+      simulator_.cancel(it->second.timeout_event);
+      callbacks.push_back(std::move(it->second.callback));
+      it = pending_rpcs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& callback : callbacks) {
+    RpcResult result;
+    result.status = RpcResult::Status::kDeliveryFailure;
+    callback(std::move(result));
+  }
+}
+
+void AgentSystem::register_service(net::NodeId node, const std::string& name,
+                                   AgentId agent) {
+  if (node >= services_.size()) {
+    throw std::out_of_range("AgentSystem::register_service: node");
+  }
+  services_[node][name] = agent;
+}
+
+void AgentSystem::unregister_service(net::NodeId node,
+                                     const std::string& name) {
+  if (node >= services_.size()) {
+    throw std::out_of_range("AgentSystem::unregister_service: node");
+  }
+  services_[node].erase(name);
+}
+
+std::optional<AgentId> AgentSystem::lookup_service(
+    net::NodeId node, const std::string& name) const {
+  if (node >= services_.size()) return std::nullopt;
+  const auto& local = services_[node];
+  const auto it = local.find(name);
+  if (it == local.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AgentSystem::exists(AgentId id) const noexcept {
+  return records_.contains(id);
+}
+
+bool AgentSystem::in_transit(AgentId id) const noexcept {
+  const auto it = records_.find(id);
+  return it != records_.end() && it->second.state == State::kInTransit;
+}
+
+std::optional<net::NodeId> AgentSystem::node_of(AgentId id) const noexcept {
+  const auto it = records_.find(id);
+  if (it == records_.end() || it->second.state != State::kActive) {
+    return std::nullopt;
+  }
+  return it->second.agent->node();
+}
+
+Agent* AgentSystem::find(AgentId id) noexcept {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : it->second.agent.get();
+}
+
+std::size_t AgentSystem::inbox_depth(AgentId id) const noexcept {
+  const auto it = records_.find(id);
+  return it == records_.end() ? 0 : it->second.inbox.size();
+}
+
+}  // namespace agentloc::platform

@@ -1,0 +1,214 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "platform/agent.hpp"
+#include "platform/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace agentloc::platform {
+
+/// Outcome of a `request` RPC.
+struct RpcResult {
+  enum class Status {
+    kOk,               ///< `reply` holds the response.
+    kTimeout,          ///< no response within the deadline
+    kDeliveryFailure,  ///< destination node did not host the target agent
+  };
+
+  Status status = Status::kTimeout;
+  Message reply;
+
+  bool ok() const noexcept { return status == Status::kOk; }
+};
+
+/// Counters the benches report alongside location times.
+struct PlatformStats {
+  std::uint64_t agents_created = 0;
+  std::uint64_t agents_disposed = 0;
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_processed = 0;
+  std::uint64_t messages_bounced = 0;
+  std::uint64_t rpc_timeouts = 0;
+};
+
+/// The mobile-agent platform: hosts agents on simulated nodes, migrates them,
+/// and delivers inter-agent messages.
+///
+/// This is the repository's stand-in for Aglets (see DESIGN.md §2). Three
+/// properties matter to the reproduction:
+///
+/// 1. **Messaging is location-addressed.** A message goes to a (node, id)
+///    address; if the agent is no longer there the platform bounces a
+///    `DeliveryFailure` to the sender. Nothing in the platform tracks agents
+///    globally — that is precisely the job of the location mechanism built
+///    on top.
+/// 2. **Processing costs CPU.** Each agent serves its inbox FIFO, one message
+///    per `service_time`. An agent flooded with requests (the centralized
+///    tracker at scale) accumulates queueing delay — the effect behind the
+///    paper's Figure 7/8 curves.
+/// 3. **Migration costs bandwidth and time.** Moving an agent ships its
+///    serialized image through the same network, and the agent processes no
+///    messages while in transit.
+class AgentSystem {
+ public:
+  struct Config {
+    /// CPU time an agent spends handling one message.
+    sim::SimTime service_time = sim::SimTime::micros(400);
+
+    /// Assign uniformly-mixed agent ids (see `AgentId` docs). Tests may
+    /// disable this to get small sequential ids.
+    bool mixed_ids = true;
+
+    /// Bounce undeliverable messages back to their sender.
+    bool bounce_undeliverable = true;
+
+    /// Default RPC deadline when the caller does not pass one.
+    sim::SimTime default_rpc_timeout = sim::SimTime::millis(250);
+
+    /// Delay before re-sending a migration the fault plan swallowed
+    /// (migration is modelled as reliable transport, e.g. TCP retries).
+    sim::SimTime migration_retry = sim::SimTime::millis(5);
+  };
+
+  AgentSystem(sim::Simulator& simulator, net::Network& network);
+  AgentSystem(sim::Simulator& simulator, net::Network& network,
+              Config config);
+  ~AgentSystem();
+  AgentSystem(const AgentSystem&) = delete;
+  AgentSystem& operator=(const AgentSystem&) = delete;
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  net::Network& network() noexcept { return network_; }
+  sim::SimTime now() const noexcept { return simulator_.now(); }
+  std::size_t node_count() const noexcept { return network_.node_count(); }
+  const Config& config() const noexcept { return config_; }
+  const PlatformStats& stats() const noexcept { return stats_; }
+
+  /// Create an agent of type `T` at `node`; `on_start` runs asynchronously
+  /// (next simulator event). Returns a reference owned by the system; the
+  /// reference stays valid until `dispose`.
+  template <typename T, typename... Args>
+  T& create(net::NodeId node, Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& agent = *owned;
+    install(std::move(owned), node);
+    return agent;
+  }
+
+  /// Destroy an agent. Its queued messages bounce; pending RPCs it issued
+  /// are dropped.
+  void dispose(AgentId id);
+
+  /// Start migrating an agent to `destination`. The agent disappears from
+  /// its node immediately and reappears (triggering `on_arrival`) after the
+  /// transfer latency. Throws when the agent is unknown or already in
+  /// transit.
+  void migrate(AgentId id, net::NodeId destination);
+
+  /// Fire-and-forget message.
+  void send(AgentId from, const AgentAddress& to, std::any body,
+            std::size_t wire_bytes);
+
+  /// Request/response. `callback` fires exactly once: with the reply, a
+  /// bounce, or a timeout. Replies route to the callback, not to
+  /// `on_message`.
+  void request(AgentId from, const AgentAddress& to, std::any body,
+               std::size_t wire_bytes,
+               std::function<void(RpcResult)> callback,
+               std::optional<sim::SimTime> timeout = std::nullopt);
+
+  /// Respond to a request received in `on_message`.
+  void reply(const Message& request, AgentId from, std::any body,
+             std::size_t wire_bytes);
+
+  /// --- Node-local service registry -------------------------------------
+  /// Stationary per-node infrastructure (the paper's LHAgents) registers
+  /// here so that newly created or arriving agents can find it without any
+  /// remote communication.
+  void register_service(net::NodeId node, const std::string& name,
+                        AgentId agent);
+  void unregister_service(net::NodeId node, const std::string& name);
+  std::optional<AgentId> lookup_service(net::NodeId node,
+                                        const std::string& name) const;
+
+  /// --- Introspection (test oracle / benches; not used by protocols) -----
+  bool exists(AgentId id) const noexcept;
+  bool in_transit(AgentId id) const noexcept;
+
+  /// Ground-truth node of an agent (nullopt while in transit or unknown).
+  std::optional<net::NodeId> node_of(AgentId id) const noexcept;
+
+  /// Agent pointer for white-box assertions; nullptr if disposed.
+  Agent* find(AgentId id) noexcept;
+
+  std::size_t live_agent_count() const noexcept { return records_.size(); }
+
+  /// Number of messages waiting in an agent's inbox (including the one in
+  /// service).
+  std::size_t inbox_depth(AgentId id) const noexcept;
+
+ private:
+  enum class State { kActive, kInTransit };
+
+  struct Record {
+    std::unique_ptr<Agent> agent;
+    State state = State::kActive;
+    std::deque<Message> inbox;
+    bool serving = false;
+    /// Bumped on migrate/dispose so stale scheduled events become no-ops.
+    std::uint64_t epoch = 0;
+  };
+
+  struct PendingRpc {
+    AgentId from = kNoAgent;
+    std::function<void(RpcResult)> callback;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+
+  void install(std::unique_ptr<Agent> owned, net::NodeId node);
+  AgentId allocate_id();
+
+  void ship_migration(AgentId id, std::uint64_t epoch, net::NodeId source,
+                      net::NodeId destination, std::size_t bytes);
+  void transmit(Message message, net::NodeId to_node);
+  void deliver(net::NodeId node, Message message);
+  void enqueue(Record& record, Message message);
+  void serve_next(AgentId id, std::uint64_t epoch);
+  void dispatch(Agent& agent, const Message& message);
+  void bounce(const Message& message);
+  void complete_rpc(std::uint64_t correlation, RpcResult result);
+  void drop_rpcs_from(AgentId id);
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  Config config_;
+  PlatformStats stats_;
+
+  std::uint64_t id_counter_ = 0;
+  std::uint64_t correlation_counter_ = 0;
+
+  std::unordered_map<AgentId, Record> records_;
+  std::unordered_map<std::uint64_t, PendingRpc> pending_rpcs_;
+  std::vector<std::map<std::string, AgentId>> services_;
+
+  /// Agents disposed from inside their own callbacks wait here until the
+  /// current event finishes.
+  std::vector<std::unique_ptr<Agent>> graveyard_;
+  bool graveyard_sweep_scheduled_ = false;
+};
+
+}  // namespace agentloc::platform

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <iosfwd>
+
+#include "net/latency.hpp"
+
+namespace agentloc::platform {
+
+/// Platform-wide unique agent identifier.
+///
+/// The location mechanism hashes *the binary representation of the id*
+/// (paper §3), so the distribution of id bits matters: `AgentSystem` assigns
+/// ids by mixing a counter through SplitMix64, giving uniform bits without
+/// any platform-specific naming structure — the paper's stated independence
+/// from agent-naming schemes.
+using AgentId = std::uint64_t;
+inline constexpr AgentId kNoAgent = 0;
+
+/// Where an agent is believed to live: hosting node plus id.
+struct AgentAddress {
+  net::NodeId node = net::kNoNode;
+  AgentId agent = kNoAgent;
+
+  friend bool operator==(const AgentAddress&, const AgentAddress&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const AgentAddress& address);
+
+/// An inter-agent message as delivered to `Agent::on_message`.
+///
+/// The payload is type-erased: protocol layers define plain structs and
+/// retrieve them with `body_as<T>()`. `wire_bytes` is the serialized size the
+/// sender declared; the network charges latency for it, so protocol structs
+/// report honest sizes (see `core/protocol.hpp`).
+struct Message {
+  AgentId from = kNoAgent;
+  net::NodeId from_node = net::kNoNode;
+  AgentId to = kNoAgent;
+
+  /// Non-zero on requests and replies; used by the RPC helper.
+  std::uint64_t correlation = 0;
+  bool is_reply = false;
+
+  std::size_t wire_bytes = 0;
+  std::any body;
+
+  /// Typed view of the payload; nullptr when the body holds another type.
+  template <typename T>
+  const T* body_as() const noexcept {
+    return std::any_cast<T>(&body);
+  }
+};
+
+/// System payload bounced to the sender when the destination node does not
+/// currently host the target agent (it migrated away, or was disposed).
+/// Protocol layers treat it as "stale location — re-resolve and retry".
+struct DeliveryFailure {
+  AgentAddress attempted;
+  /// Correlation id of the failed request, if it was one.
+  std::uint64_t correlation = 0;
+};
+
+}  // namespace agentloc::platform

@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace agentloc::sim {
+
+EventId Simulator::schedule_at(SimTime when, Handler handler) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+EventId Simulator::schedule_after(SimTime delay, Handler handler) {
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    if (const auto cancelled = cancelled_.find(entry.id);
+        cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    const auto it = handlers_.find(entry.id);
+    // Invariant: a queued, non-cancelled id always has a handler.
+    Handler handler = std::move(it->second);
+    handlers_.erase(it);
+    now_ = entry.when;
+    ++executed_;
+    handler();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  stop_requested_ = false;
+  for (;;) {
+    // Skip cancelled entries without advancing time.
+    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline || stop_requested_) {
+      // Advance the clock to the deadline so back-to-back run_until calls
+      // observe monotone time even across idle stretches.
+      if (deadline != SimTime::infinity() && deadline > now_ &&
+          !stop_requested_) {
+        now_ = deadline;
+      }
+      return count;
+    }
+    step();
+    ++count;
+  }
+}
+
+}  // namespace agentloc::sim

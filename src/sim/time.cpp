@@ -1,0 +1,18 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace agentloc::sim {
+
+std::string SimTime::str() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3fms", as_millis());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.str();
+}
+
+}  // namespace agentloc::sim

@@ -1,0 +1,50 @@
+#include "sim/timer.hpp"
+
+#include <utility>
+
+namespace agentloc::sim {
+
+PeriodicTimer::PeriodicTimer(Simulator& simulator, SimTime period, Tick tick)
+    : simulator_(simulator), period_(period), tick_(std::move(tick)) {}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() {
+  stop();
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (event_ != kInvalidEvent) {
+    simulator_.cancel(event_);
+    event_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTimer::arm() {
+  event_ = simulator_.schedule_after(period_, [this] {
+    event_ = kInvalidEvent;
+    // Re-arm before the tick so the callback may call stop() to cancel the
+    // next firing.
+    arm();
+    tick_();
+  });
+}
+
+void Timeout::arm(SimTime delay, std::function<void()> fn) {
+  cancel();
+  event_ = simulator_.schedule_after(
+      delay, [this, fn = std::move(fn)] {
+        event_ = kInvalidEvent;
+        fn();
+      });
+}
+
+void Timeout::cancel() {
+  if (event_ != kInvalidEvent) {
+    simulator_.cancel(event_);
+    event_ = kInvalidEvent;
+  }
+}
+
+}  // namespace agentloc::sim

@@ -1,0 +1,174 @@
+#include "util/bitstring.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace agentloc::util {
+
+BitString::BitString(std::size_t count, bool bit) {
+  words_.assign((count + 63) / 64, bit ? ~std::uint64_t{0} : 0);
+  size_ = count;
+  if (bit && count % 64 != 0) {
+    // Clear the unused low bits of the last word so hashing/equality can
+    // compare words directly.
+    words_.back() &= ~std::uint64_t{0} << (64 - count % 64);
+  }
+}
+
+BitString::BitString(std::initializer_list<bool> bits) {
+  for (bool b : bits) push_back(b);
+}
+
+BitString BitString::parse(std::string_view text) {
+  BitString out;
+  for (char c : text) {
+    if (c == '0') {
+      out.push_back(false);
+    } else if (c == '1') {
+      out.push_back(true);
+    } else {
+      throw std::invalid_argument("BitString::parse: invalid character '" +
+                                  std::string(1, c) + "'");
+    }
+  }
+  return out;
+}
+
+BitString BitString::from_uint(std::uint64_t value, std::size_t width) {
+  if (width > 64) {
+    throw std::invalid_argument("BitString::from_uint: width > 64");
+  }
+  BitString out;
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back((value >> (width - 1 - i)) & 1u);
+  }
+  return out;
+}
+
+bool BitString::at(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitString::at");
+  return get_unchecked(i);
+}
+
+void BitString::push_back(bool bit) {
+  if (size_ % 64 == 0) words_.push_back(0);
+  ++size_;
+  set_unchecked(size_ - 1, bit);
+}
+
+void BitString::pop_back() {
+  if (size_ == 0) throw std::logic_error("BitString::pop_back on empty");
+  set_unchecked(size_ - 1, false);
+  --size_;
+  if (size_ % 64 == 0) words_.pop_back();
+}
+
+void BitString::set(std::size_t i, bool bit) {
+  if (i >= size_) throw std::out_of_range("BitString::set");
+  set_unchecked(i, bit);
+}
+
+void BitString::append(const BitString& other) {
+  const std::size_t n = other.size_;  // snapshot: allows self-append
+  for (std::size_t i = 0; i < n; ++i) push_back(other.get_unchecked(i));
+}
+
+BitString BitString::prefix(std::size_t count) const {
+  if (count > size_) throw std::out_of_range("BitString::prefix");
+  BitString out = *this;
+  out.size_ = count;
+  out.words_.resize((count + 63) / 64);
+  if (count % 64 != 0) {
+    out.words_.back() &= ~std::uint64_t{0} << (64 - count % 64);
+  }
+  return out;
+}
+
+BitString BitString::substr(std::size_t begin, std::size_t count) const {
+  if (begin > size_ || count > size_ - begin) {
+    throw std::out_of_range("BitString::substr");
+  }
+  BitString out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(get_unchecked(begin + i));
+  }
+  return out;
+}
+
+BitString BitString::suffix_from(std::size_t begin) const {
+  if (begin > size_) throw std::out_of_range("BitString::suffix_from");
+  return substr(begin, size_ - begin);
+}
+
+bool BitString::is_prefix_of(const BitString& other) const noexcept {
+  if (size_ > other.size_) return false;
+  return common_prefix_length(other) == size_;
+}
+
+std::size_t BitString::common_prefix_length(
+    const BitString& other) const noexcept {
+  const std::size_t limit = size_ < other.size_ ? size_ : other.size_;
+  std::size_t i = 0;
+  // Word-at-a-time fast path.
+  while (i + 64 <= limit) {
+    const std::uint64_t diff = words_[i >> 6] ^ other.words_[i >> 6];
+    if (diff != 0) {
+      return i + static_cast<std::size_t>(__builtin_clzll(diff));
+    }
+    i += 64;
+  }
+  while (i < limit && get_unchecked(i) == other.get_unchecked(i)) ++i;
+  return i;
+}
+
+std::uint64_t BitString::to_uint() const noexcept {
+  std::uint64_t value = 0;
+  const std::size_t n = size_ < 64 ? size_ : 64;
+  for (std::size_t i = 0; i < n; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(get_unchecked(i));
+  }
+  return value;
+}
+
+std::string BitString::to_string() const {
+  std::string out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(get_unchecked(i) ? '1' : '0');
+  }
+  return out;
+}
+
+bool operator==(const BitString& a, const BitString& b) noexcept {
+  return a.size_ == b.size_ && a.words_ == b.words_;
+}
+
+std::strong_ordering operator<=>(const BitString& a,
+                                 const BitString& b) noexcept {
+  const std::size_t common = a.common_prefix_length(b);
+  if (common == a.size_ && common == b.size_) {
+    return std::strong_ordering::equal;
+  }
+  if (common == a.size_) return std::strong_ordering::less;
+  if (common == b.size_) return std::strong_ordering::greater;
+  return a.get_unchecked(common) ? std::strong_ordering::greater
+                                 : std::strong_ordering::less;
+}
+
+std::size_t BitString::hash() const noexcept {
+  // FNV-1a over the packed words plus the length.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(size_);
+  for (std::uint64_t w : words_) mix(w);
+  return static_cast<std::size_t>(h);
+}
+
+std::ostream& operator<<(std::ostream& os, const BitString& bits) {
+  return os << bits.to_string();
+}
+
+}  // namespace agentloc::util

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agentloc::util {
+
+/// A sequence of bits with value semantics.
+///
+/// `BitString` is the foundation of the hash mechanism: hash-tree edge
+/// *labels*, leaf *hyper-labels*, and the binary representation of agent ids
+/// are all bit strings. Bits are indexed from 0 (most significant /
+/// left-most), matching the paper's "prefix of the binary representation"
+/// orientation: bit 0 of an agent id is the first bit consulted by the hash
+/// tree.
+///
+/// The representation is a packed `std::vector<uint64_t>` (bit i lives in
+/// word i/64 at bit position 63 - i%64), so prefix extraction, comparison,
+/// and append are cheap for the short strings (tens of bits) this library
+/// manipulates, while still supporting full 64-bit ids and longer test
+/// inputs.
+class BitString {
+ public:
+  /// The empty bit string.
+  BitString() = default;
+
+  /// A bit string of `count` copies of `bit`.
+  BitString(std::size_t count, bool bit);
+
+  /// Construct from explicit bits, most significant first: `{1,0,1}` is "101".
+  BitString(std::initializer_list<bool> bits);
+
+  /// Parse from text consisting of '0' and '1' characters only.
+  /// Throws `std::invalid_argument` on any other character.
+  static BitString parse(std::string_view text);
+
+  /// The `width` most-significant bits of `value`, left-padded with zeros so
+  /// that e.g. `from_uint(5, 8)` is "00000101" — the natural binary
+  /// representation used when hashing an agent id.
+  /// Throws `std::invalid_argument` if `width > 64`.
+  static BitString from_uint(std::uint64_t value, std::size_t width);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Bit at position `i` (0 = left-most). Throws `std::out_of_range`.
+  bool at(std::size_t i) const;
+
+  /// Unchecked access; precondition `i < size()`.
+  bool operator[](std::size_t i) const noexcept { return get_unchecked(i); }
+
+  /// First bit. In a hash-tree label this is the *valid bit* — the only bit
+  /// that participates in the agent→IAgent mapping. Throws on empty.
+  bool front() const { return at(0); }
+
+  /// Last bit. Throws on empty.
+  bool back() const { return at(size_ - 1); }
+
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
+  /// Append a single bit.
+  void push_back(bool bit);
+
+  /// Remove the last bit. Throws `std::logic_error` on empty.
+  void pop_back();
+
+  /// Set bit `i` to `bit`. Throws `std::out_of_range`.
+  void set(std::size_t i, bool bit);
+
+  /// Append all of `other`'s bits (concatenation of labels into
+  /// hyper-labels). Self-append is supported.
+  void append(const BitString& other);
+
+  /// The `count` left-most bits. Throws `std::out_of_range` if
+  /// `count > size()`.
+  BitString prefix(std::size_t count) const;
+
+  /// Bits `[begin, begin+count)`. Throws `std::out_of_range` when the range
+  /// does not fit.
+  BitString substr(std::size_t begin, std::size_t count) const;
+
+  /// Bits `[begin, size())`.
+  BitString suffix_from(std::size_t begin) const;
+
+  /// True when `*this` is a (not necessarily proper) prefix of `other`.
+  bool is_prefix_of(const BitString& other) const noexcept;
+
+  /// Length of the longest common prefix with `other`.
+  std::size_t common_prefix_length(const BitString& other) const noexcept;
+
+  /// Interpret the first min(size, 64) bits as an unsigned integer, most
+  /// significant bit first. An empty string yields 0.
+  std::uint64_t to_uint() const noexcept;
+
+  /// "0"/"1" text, e.g. "0110". Empty string renders as "".
+  std::string to_string() const;
+
+  friend bool operator==(const BitString& a, const BitString& b) noexcept;
+
+  /// Lexicographic order (shorter prefix sorts first).
+  friend std::strong_ordering operator<=>(const BitString& a,
+                                          const BitString& b) noexcept;
+
+  /// Hash suitable for unordered containers.
+  std::size_t hash() const noexcept;
+
+ private:
+  bool get_unchecked(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (63 - (i & 63))) & 1u;
+  }
+  void set_unchecked(std::size_t i, bool bit) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (63 - (i & 63));
+    if (bit) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const BitString& bits);
+
+struct BitStringHash {
+  std::size_t operator()(const BitString& b) const noexcept { return b.hash(); }
+};
+
+}  // namespace agentloc::util

@@ -1,0 +1,130 @@
+#include "util/bytebuffer.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace agentloc::util {
+
+void ByteWriter::write_u8(std::uint8_t value) { bytes_.push_back(value); }
+
+void ByteWriter::write_u32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::write_u64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void ByteWriter::write_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void ByteWriter::write_double(double value) {
+  write_u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void ByteWriter::write_string(std::string_view text) {
+  write_varint(text.size());
+  bytes_.insert(bytes_.end(), text.begin(), text.end());
+}
+
+void ByteWriter::write_bits(const BitString& bits) {
+  write_varint(bits.size());
+  std::uint8_t acc = 0;
+  int filled = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    acc = static_cast<std::uint8_t>((acc << 1) | (bits[i] ? 1 : 0));
+    if (++filled == 8) {
+      bytes_.push_back(acc);
+      acc = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(acc << (8 - filled)));
+  }
+}
+
+void ByteWriter::write_bytes(const std::uint8_t* data, std::size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+void ByteReader::require(std::size_t count) const {
+  if (size_ - pos_ < count) {
+    throw std::out_of_range("ByteReader: truncated input");
+  }
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(4);
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+  }
+  return value;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  require(8);
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    value |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+  }
+  return value;
+}
+
+std::uint64_t ByteReader::read_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    require(1);
+    const std::uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7e) != 0)) {
+      throw std::invalid_argument("ByteReader: varint overflow");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+double ByteReader::read_double() {
+  return std::bit_cast<double>(read_u64());
+}
+
+std::string ByteReader::read_string() {
+  const std::uint64_t size = read_varint();
+  require(size);
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), size);
+  pos_ += size;
+  return out;
+}
+
+BitString ByteReader::read_bits() {
+  const std::uint64_t count = read_varint();
+  const std::size_t byte_count = (count + 7) / 8;
+  require(byte_count);
+  BitString out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t byte = data_[pos_ + i / 8];
+    out.push_back((byte >> (7 - i % 8)) & 1u);
+  }
+  pos_ += byte_count;
+  return out;
+}
+
+}  // namespace agentloc::util

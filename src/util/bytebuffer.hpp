@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitstring.hpp"
+
+namespace agentloc::util {
+
+/// Append-only binary writer with varint encoding.
+///
+/// The platform charges migration and messaging latency per serialized byte,
+/// and the HAgent ships hash-tree snapshots to LHAgents; both use this pair
+/// of classes so the "bytes on the wire" the latency model sees are the bytes
+/// an actual implementation would send.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t value);
+  void write_u32(std::uint32_t value);
+  void write_u64(std::uint64_t value);
+
+  /// LEB128 variable-length unsigned integer.
+  void write_varint(std::uint64_t value);
+
+  void write_bool(bool value) { write_u8(value ? 1 : 0); }
+  void write_double(double value);
+  void write_string(std::string_view text);
+  void write_bits(const BitString& bits);
+  void write_bytes(const std::uint8_t* data, std::size_t size);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over bytes produced by `ByteWriter`.
+/// All methods throw `std::out_of_range` on truncated input and
+/// `std::invalid_argument` on malformed varints, so corrupt snapshots fail
+/// loudly instead of yielding a garbled hash tree.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::uint64_t read_varint();
+  bool read_bool() { return read_u8() != 0; }
+  double read_double();
+  std::string read_string();
+  BitString read_bits();
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool exhausted() const noexcept { return pos_ == size_; }
+
+ private:
+  void require(std::size_t count) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace agentloc::util

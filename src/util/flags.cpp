@@ -1,0 +1,113 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agentloc::util {
+
+namespace {
+bool parse_bool_text(std::string_view text) {
+  if (text == "1" || text == "true" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no" || text == "off") {
+    return false;
+  }
+  throw std::invalid_argument("invalid boolean flag value: " +
+                              std::string(text));
+}
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<std::size_t>(argc) - 1 : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+Flags::Flags(const std::vector<std::string>& args) { parse(args); }
+
+void Flags::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_[body] = args[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(std::string_view name) const {
+  declared_.emplace_back(name);
+  return values_.find(name) != values_.end();
+}
+
+std::optional<std::string> Flags::get(std::string_view name) const {
+  declared_.emplace_back(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_string(std::string_view name,
+                              std::string fallback) const {
+  return get(name).value_or(std::move(fallback));
+}
+
+std::int64_t Flags::get_int(std::string_view name,
+                            std::int64_t fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  return std::stoll(*text);
+}
+
+double Flags::get_double(std::string_view name, double fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  return std::stod(*text);
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  return parse_bool_text(*text);
+}
+
+std::vector<std::int64_t> Flags::get_int_list(
+    std::string_view name, std::vector<std::int64_t> fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos <= text->size()) {
+    const auto comma = text->find(',', pos);
+    const auto end = comma == std::string::npos ? text->size() : comma;
+    if (end > pos) out.push_back(std::stoll(text->substr(pos, end - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void Flags::declare(std::string_view name) { declared_.emplace_back(name); }
+
+void Flags::fail_on_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(declared_.begin(), declared_.end(), name) ==
+        declared_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+  }
+}
+
+}  // namespace agentloc::util

@@ -1,0 +1,57 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace agentloc::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() = default;
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::set_time_source(TimeSource source) { time_ = std::move(source); }
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view text) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(component.size() + text.size() + 32);
+  if (time_) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "[%10.3fms] ", time_());
+    line += stamp;
+  }
+  line += to_string(level);
+  line += " ";
+  line += component;
+  line += ": ";
+  line += text;
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace agentloc::util

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace agentloc::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Minimal structured logger.
+///
+/// The library is single-threaded by design (the discrete-event simulator
+/// owns the clock), so the logger favours simplicity: a process-wide level
+/// threshold, an optional time source (wired to the simulator so log lines
+/// carry *simulated* milliseconds), and a redirectable sink used by tests to
+/// assert on emitted diagnostics.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+  using TimeSource = std::function<double()>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Replace the sink; pass nullptr to restore the default (stderr).
+  void set_sink(Sink sink);
+
+  /// Install a simulated-time source; pass nullptr to drop the timestamp.
+  void set_time_source(TimeSource source);
+
+  void log(LogLevel level, std::string_view component, std::string_view text);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  TimeSource time_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().log(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace agentloc::util
+
+/// Streaming log statement: `AGENTLOC_LOG(kInfo, "hagent") << "split " << id;`
+/// The right-hand side is only evaluated when the level is enabled.
+#define AGENTLOC_LOG(level, component)                                       \
+  if (!::agentloc::util::Logger::instance().enabled(                        \
+          ::agentloc::util::LogLevel::level)) {                             \
+  } else                                                                     \
+    ::agentloc::util::detail::LogLine(::agentloc::util::LogLevel::level,    \
+                                      component)

@@ -1,0 +1,186 @@
+#include "workload/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/centralized_scheme.hpp"
+#include "core/forwarding_scheme.hpp"
+#include "core/hash_scheme.hpp"
+#include "core/home_scheme.hpp"
+#include "platform/agent_system.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "workload/querier.hpp"
+#include "workload/tagent.hpp"
+
+namespace agentloc::workload {
+
+std::unique_ptr<core::LocationScheme> make_scheme(
+    const std::string& name, platform::AgentSystem& system,
+    const core::MechanismConfig& mechanism) {
+  if (name == "hash") {
+    return std::make_unique<core::HashLocationScheme>(system, mechanism);
+  }
+  if (name == "centralized") {
+    return std::make_unique<core::CentralizedLocationScheme>(system,
+                                                             mechanism);
+  }
+  if (name == "home") {
+    return std::make_unique<core::HomeRegistryLocationScheme>(system,
+                                                              mechanism);
+  }
+  if (name == "forwarding") {
+    return std::make_unique<core::ForwardingLocationScheme>(system,
+                                                            mechanism);
+  }
+  throw std::invalid_argument("unknown location scheme: " + name);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  util::Rng master(config.seed);
+
+  sim::Simulator simulator;
+  net::Network network(simulator, config.nodes, net::make_default_lan_model(),
+                       master.fork());
+  network.faults().drop_probability = config.drop_probability;
+
+  platform::AgentSystem::Config platform_config;
+  platform_config.service_time = config.service_time;
+  platform_config.mixed_ids = config.mixed_ids;
+  platform::AgentSystem system(simulator, network, platform_config);
+
+  auto scheme = make_scheme(config.scheme, system, config.mechanism);
+
+  // The tracked population, spread round-robin across nodes.
+  std::vector<TAgent*> tagents;
+  std::vector<platform::AgentId> targets;
+  tagents.reserve(config.tagents);
+  for (std::size_t i = 0; i < config.tagents; ++i) {
+    TAgent::Config tconfig;
+    tconfig.residence = config.residence;
+    tconfig.exponential_residence = config.exponential_residence;
+    tconfig.seed = master.next();
+    auto& agent = system.create<TAgent>(
+        static_cast<net::NodeId>(i % config.nodes), *scheme, tconfig);
+    tagents.push_back(&agent);
+    targets.push_back(agent.id());
+  }
+
+  // Optional periodic probe over the whole run.
+  std::unique_ptr<sim::PeriodicTimer> sampler;
+  if (config.sampler && config.sample_period > sim::SimTime::zero()) {
+    sampler = std::make_unique<sim::PeriodicTimer>(
+        simulator, config.sample_period,
+        [&] { config.sampler(simulator.now(), *scheme); });
+    sampler->start();
+  }
+
+  simulator.run_until(config.warmup);
+
+  // Measurement phase: closed-loop queriers, quota split evenly.
+  TraceLog trace_log;
+  std::size_t remaining = config.queriers;
+  std::vector<QuerierAgent*> queriers;
+  const std::size_t per_querier =
+      config.queriers == 0 ? 0 : config.total_queries / config.queriers;
+  for (std::size_t q = 0; q < config.queriers; ++q) {
+    QuerierAgent::Config qconfig;
+    qconfig.quota = per_querier;
+    qconfig.think = config.think;
+    qconfig.target_skew = config.target_skew;
+    qconfig.seed = master.next();
+    if (!config.trace_csv_path.empty()) qconfig.trace_log = &trace_log;
+    auto& agent = system.create<QuerierAgent>(
+        static_cast<net::NodeId>((q * 3 + 1) % config.nodes), *scheme,
+        qconfig, targets, [&remaining, &simulator] {
+          if (--remaining == 0) simulator.request_stop();
+        });
+    queriers.push_back(&agent);
+  }
+
+  simulator.run_until(config.warmup + config.measure_deadline);
+
+  ExperimentResult result;
+  for (const QuerierAgent* querier : queriers) {
+    result.location_ms.merge(querier->latencies_ms());
+    result.attempts.merge(querier->attempts());
+    result.queries_found += querier->found();
+    result.queries_failed += querier->failed();
+    result.wrong_location += querier->wrong_location();
+  }
+  for (const TAgent* agent : tagents) {
+    result.tagent_moves += agent->moves_completed();
+  }
+  if (!config.trace_csv_path.empty()) {
+    trace_log.write_csv(config.trace_csv_path);
+  }
+  if (config.on_finish) config.on_finish(*scheme);
+  result.trackers_at_end = scheme->tracker_count();
+  result.scheme_stats = scheme->stats();
+  result.network_stats = network.stats();
+  result.platform_stats = system.stats();
+  result.sim_seconds = simulator.now().as_seconds();
+  result.events_executed = simulator.executed();
+  return result;
+}
+
+ExperimentResult run_repeated(ExperimentConfig config, std::size_t repeats) {
+  ExperimentResult merged;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    config.seed = util::mix64(config.seed + r * 0x9e37);
+    ExperimentResult one = run_experiment(config);
+    merged.location_ms.merge(one.location_ms);
+    merged.attempts.merge(one.attempts);
+    merged.queries_found += one.queries_found;
+    merged.queries_failed += one.queries_failed;
+    merged.wrong_location += one.wrong_location;
+    merged.tagent_moves += one.tagent_moves;
+    merged.trackers_at_end = one.trackers_at_end;
+
+    // Counters accumulate across repeats so rates computed against the
+    // accumulated sim_seconds stay correct.
+    const auto add_scheme = [](core::SchemeStats& acc,
+                               const core::SchemeStats& inc) {
+      acc.registers += inc.registers;
+      acc.updates += inc.updates;
+      acc.deregisters += inc.deregisters;
+      acc.locates += inc.locates;
+      acc.locates_found += inc.locates_found;
+      acc.locates_failed += inc.locates_failed;
+      acc.stale_retries += inc.stale_retries;
+      acc.transient_retries += inc.transient_retries;
+      acc.delivery_retries += inc.delivery_retries;
+      acc.timeout_retries += inc.timeout_retries;
+      acc.refreshes_triggered += inc.refreshes_triggered;
+    };
+    add_scheme(merged.scheme_stats, one.scheme_stats);
+
+    merged.network_stats.messages_sent += one.network_stats.messages_sent;
+    merged.network_stats.messages_delivered +=
+        one.network_stats.messages_delivered;
+    merged.network_stats.messages_dropped +=
+        one.network_stats.messages_dropped;
+    merged.network_stats.messages_duplicated +=
+        one.network_stats.messages_duplicated;
+    merged.network_stats.bytes_sent += one.network_stats.bytes_sent;
+
+    merged.platform_stats.agents_created += one.platform_stats.agents_created;
+    merged.platform_stats.agents_disposed +=
+        one.platform_stats.agents_disposed;
+    merged.platform_stats.migrations_started +=
+        one.platform_stats.migrations_started;
+    merged.platform_stats.migrations_completed +=
+        one.platform_stats.migrations_completed;
+    merged.platform_stats.messages_sent += one.platform_stats.messages_sent;
+    merged.platform_stats.messages_processed +=
+        one.platform_stats.messages_processed;
+    merged.platform_stats.messages_bounced +=
+        one.platform_stats.messages_bounced;
+    merged.platform_stats.rpc_timeouts += one.platform_stats.rpc_timeouts;
+
+    merged.sim_seconds += one.sim_seconds;
+    merged.events_executed += one.events_executed;
+  }
+  return merged;
+}
+
+}  // namespace agentloc::workload

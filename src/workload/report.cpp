@@ -1,0 +1,70 @@
+#include "workload/report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace agentloc::workload {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << cells[c]
+         << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string fmt_count(std::uint64_t value) { return std::to_string(value); }
+
+std::string ascii_series(
+    const std::vector<std::pair<std::string, double>>& points,
+    std::size_t width) {
+  double peak = 1e-12;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : points) {
+    peak = std::max(peak, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, value] : points) {
+    const auto bar =
+        static_cast<std::size_t>(value / peak * static_cast<double>(width));
+    os << label << std::string(label_width - label.size(), ' ') << " |"
+       << std::string(bar, '#') << " " << fmt(value) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace agentloc::workload

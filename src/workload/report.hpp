@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agentloc::workload {
+
+/// Fixed-width text table used by every bench binary to print the rows a
+/// paper figure/table reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns and a header separator.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` decimals.
+std::string fmt(double value, int precision = 2);
+
+/// Format an integer count.
+std::string fmt_count(std::uint64_t value);
+
+/// A crude ASCII line for a numeric series ("#" bars), used to sketch the
+/// figure shape right in the terminal.
+std::string ascii_series(const std::vector<std::pair<std::string, double>>& points,
+                         std::size_t width = 50);
+
+}  // namespace agentloc::workload

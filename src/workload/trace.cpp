@@ -1,0 +1,37 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace agentloc::workload {
+
+std::string TraceLog::to_csv() const {
+  std::ostringstream os;
+  os << "t_issued_ms,t_completed_ms,latency_ms,target,found,node,attempts\n";
+  for (const QueryTrace& trace : traces_) {
+    os << trace.issued_at.as_millis() << ','
+       << trace.completed_at.as_millis() << ',' << trace.latency_ms() << ','
+       << trace.target << ',' << (trace.found ? 1 : 0) << ',';
+    if (trace.reported_node == net::kNoNode) {
+      os << "-";
+    } else {
+      os << trace.reported_node;
+    }
+    os << ',' << trace.attempts << '\n';
+  }
+  return os.str();
+}
+
+void TraceLog::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceLog: cannot open " + path);
+  }
+  out << to_csv();
+  if (!out) {
+    throw std::runtime_error("TraceLog: write failed for " + path);
+  }
+}
+
+}  // namespace agentloc::workload

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "platform/message.hpp"
+#include "sim/time.hpp"
+
+namespace agentloc::workload {
+
+/// One completed location query, as recorded by a tracing querier.
+struct QueryTrace {
+  sim::SimTime issued_at;
+  sim::SimTime completed_at;
+  platform::AgentId target = platform::kNoAgent;
+  bool found = false;
+  net::NodeId reported_node = net::kNoNode;
+  int attempts = 0;
+
+  double latency_ms() const {
+    return (completed_at - issued_at).as_millis();
+  }
+};
+
+/// Collects per-query traces and renders them as CSV — the raw data behind
+/// every figure, for offline analysis/plotting.
+class TraceLog {
+ public:
+  void add(QueryTrace trace) { traces_.push_back(trace); }
+
+  std::size_t size() const noexcept { return traces_.size(); }
+  bool empty() const noexcept { return traces_.empty(); }
+  const std::vector<QueryTrace>& traces() const noexcept { return traces_; }
+
+  /// CSV with header: t_issued_ms,t_completed_ms,latency_ms,target,found,
+  /// node,attempts
+  std::string to_csv() const;
+
+  /// Write to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<QueryTrace> traces_;
+};
+
+}  // namespace agentloc::workload

@@ -1,0 +1,101 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/tracker_table.hpp"
+#include "util/rng.hpp"
+
+namespace agentloc::core {
+namespace {
+
+// Wire sizes feed the network latency model; they must be plausible (no
+// zero-byte messages, payload-bearing messages scale with their payload).
+
+TEST(Protocol, FixedWireSizesArePlausible) {
+  EXPECT_GE(RegisterRequest::kWireBytes, 24u);
+  EXPECT_GE(UpdateRequest::kWireBytes, 24u);
+  EXPECT_GE(UpdateAck::kWireBytes, 16u);
+  EXPECT_GE(LocateRequest::kWireBytes, 16u);
+  EXPECT_GE(LocateReply::kWireBytes, 16u);
+  EXPECT_GE(NotResponsibleNotice::kWireBytes, 16u);
+  EXPECT_GE(DeregisterRequest::kWireBytes, 16u);
+  EXPECT_GE(WatchRequest::kWireBytes, 16u);
+  EXPECT_GE(WatchNotify::kWireBytes, 24u);
+  EXPECT_GE(HashPullRequest::kWireBytes, 16u);
+  EXPECT_GE(RehashDone::kWireBytes, 16u);
+  EXPECT_GE(IAgentMoved::kWireBytes, 16u);
+  EXPECT_GE(PromoteRequest::kWireBytes, 8u);
+}
+
+TEST(Protocol, VariableWireSizesScaleWithContent) {
+  SplitRequest small;
+  small.loads.push_back(AgentLoad{1, 1});
+  SplitRequest big = small;
+  for (int i = 0; i < 100; ++i) big.loads.push_back(AgentLoad{2, 2});
+  EXPECT_GT(big.wire_bytes(), small.wire_bytes() + 1000);
+
+  HandoffTransfer empty;
+  HandoffTransfer full;
+  for (int i = 0; i < 50; ++i) full.entries.push_back(LocationEntry{});
+  EXPECT_GT(full.wire_bytes(), empty.wire_bytes() + 900);
+
+  HashPullReply reply;
+  EXPECT_EQ(reply.wire_bytes(), 16u);
+  reply.payload.assign(500, 0);
+  EXPECT_EQ(reply.wire_bytes(), 516u);
+
+  ResponsibilityUpdate update;
+  const auto bare = update.wire_bytes();
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    update.predicate.valid_bits.emplace_back(i, false);
+  }
+  EXPECT_GT(update.wire_bytes(), bare + 50);
+
+  RetireOrder order;
+  const auto no_routes = order.wire_bytes();
+  order.routes.resize(5);
+  EXPECT_GT(order.wire_bytes(), no_routes + 50);
+}
+
+// Predicate extraction must partition the id space for arbitrary trees, not
+// just the paper's example (see also tracker_table_test for Figure 1).
+
+class PredicatePartition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredicatePartition, RandomTreesPartitionIdSpace) {
+  util::Rng rng(GetParam());
+  hashtree::HashTree tree(1, 0);
+  hashtree::IAgentId next = 2;
+  for (int step = 0; step < 40; ++step) {
+    const auto leaves = tree.leaves();
+    const auto victim = leaves[rng.next_below(leaves.size())];
+    if (rng.chance(0.7) || tree.leaf_count() == 1) {
+      tree.simple_split(victim, 1 + rng.next_below(3), next++, 0);
+    } else {
+      tree.merge(victim);
+    }
+  }
+
+  std::vector<std::pair<hashtree::IAgentId, Predicate>> predicates;
+  for (const auto leaf : tree.leaves()) {
+    predicates.emplace_back(leaf, predicate_of(tree, leaf));
+  }
+  for (int i = 0; i < 300; ++i) {
+    const platform::AgentId id = rng.next();
+    const auto owner = tree.lookup_id(id).iagent;
+    std::size_t matches = 0;
+    for (const auto& [leaf, predicate] : predicates) {
+      if (predicate.matches(id)) {
+        ++matches;
+        ASSERT_EQ(leaf, owner);
+      }
+    }
+    ASSERT_EQ(matches, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicatePartition,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace agentloc::core

@@ -1,0 +1,145 @@
+#include "core/tracker_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hashtree/paper_figures.hpp"
+
+namespace agentloc::core {
+namespace {
+
+TEST(LocationTable, ApplyAndFind) {
+  LocationTable table;
+  EXPECT_TRUE(table.apply(LocationEntry{1, 5, 1}));
+  const auto entry = table.find(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->node, 5u);
+  EXPECT_EQ(entry->seq, 1u);
+  EXPECT_FALSE(table.find(2).has_value());
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.contains(1));
+}
+
+TEST(LocationTable, StaleSequenceRejected) {
+  LocationTable table;
+  table.apply(LocationEntry{1, 5, 3});
+  EXPECT_FALSE(table.apply(LocationEntry{1, 9, 2}));
+  EXPECT_FALSE(table.apply(LocationEntry{1, 9, 3}));  // equal seq = duplicate
+  EXPECT_EQ(table.find(1)->node, 5u);
+  EXPECT_TRUE(table.apply(LocationEntry{1, 9, 4}));
+  EXPECT_EQ(table.find(1)->node, 9u);
+}
+
+TEST(LocationTable, RemoveHonorsSequence) {
+  LocationTable table;
+  table.apply(LocationEntry{1, 5, 3});
+  EXPECT_FALSE(table.remove(1, 2));  // stale deregister
+  EXPECT_TRUE(table.contains(1));
+  EXPECT_TRUE(table.remove(1, 3));
+  EXPECT_FALSE(table.contains(1));
+  EXPECT_FALSE(table.remove(1, 4));  // already gone
+}
+
+TEST(LocationTable, ExtractMatchingPartitions) {
+  LocationTable table;
+  // Predicate: bit 0 == 1 (ids with the top bit set).
+  Predicate top_bit;
+  top_bit.valid_bits.emplace_back(0, true);
+  table.apply(LocationEntry{0x8000000000000001ull, 1, 1});
+  table.apply(LocationEntry{0x0000000000000001ull, 2, 1});
+  table.apply(LocationEntry{0xffffffffffffffffull, 3, 1});
+  const auto moved = table.extract_matching(top_bit);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.contains(0x0000000000000001ull));
+}
+
+TEST(LocationTable, ExtractAllEmpties) {
+  LocationTable table;
+  table.apply(LocationEntry{1, 1, 1});
+  table.apply(LocationEntry{2, 2, 1});
+  const auto all = table.extract_all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(LocationTable, SnapshotDoesNotMutate) {
+  LocationTable table;
+  table.apply(LocationEntry{1, 1, 1});
+  EXPECT_EQ(table.snapshot().size(), 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(Predicate, EmptyMatchesEverything) {
+  Predicate predicate;
+  EXPECT_TRUE(predicate.matches(0));
+  EXPECT_TRUE(predicate.matches(0xdeadbeefull));
+}
+
+TEST(Predicate, ChecksBitsAtPositions) {
+  Predicate predicate;
+  predicate.valid_bits.emplace_back(0, true);
+  predicate.valid_bits.emplace_back(63, false);
+  EXPECT_TRUE(predicate.matches(0x8000000000000000ull));
+  EXPECT_FALSE(predicate.matches(0x8000000000000001ull));  // bit 63 = 1
+  EXPECT_FALSE(predicate.matches(0x0000000000000000ull));  // bit 0 = 0
+}
+
+TEST(Predicate, PositionsBeyond64ReadAsZero) {
+  Predicate predicate;
+  predicate.valid_bits.emplace_back(70, false);
+  EXPECT_TRUE(predicate.matches(0xffffffffffffffffull));
+  predicate.valid_bits.back().second = true;
+  EXPECT_FALSE(predicate.matches(0xffffffffffffffffull));
+}
+
+TEST(PredicateOf, MatchesTreeLookupOnFigure1) {
+  const hashtree::HashTree tree = hashtree::figure1_tree();
+  // For every leaf, predicate_of must agree with tree.lookup over a sweep of
+  // ids: id maps to leaf  <=>  predicate matches.
+  for (const auto leaf : tree.leaves()) {
+    const Predicate predicate = predicate_of(tree, leaf);
+    for (std::uint64_t v = 0; v < 128; ++v) {
+      const std::uint64_t id = v << 57;  // put the 7 sweep bits on top
+      EXPECT_EQ(tree.lookup_id(id).iagent == leaf, predicate.matches(id))
+          << "leaf " << leaf << " id " << v;
+    }
+  }
+}
+
+TEST(PredicateOf, RootLeafIsUnconstrained) {
+  const hashtree::HashTree tree(9, 0);
+  EXPECT_TRUE(predicate_of(tree, 9).valid_bits.empty());
+}
+
+TEST(LoadWindow, RatesComputedOverClosedWindow) {
+  LoadWindow window(sim::SimTime::seconds(2));
+  window.record(1);
+  window.record(1);
+  window.record(2);
+  EXPECT_EQ(window.rate(), 0.0);  // nothing closed yet
+  window.roll();
+  EXPECT_DOUBLE_EQ(window.rate(), 1.5);  // 3 requests / 2 s
+  EXPECT_EQ(window.total(), 3u);
+  const auto loads = window.loads();
+  EXPECT_EQ(loads.size(), 2u);
+  window.roll();
+  EXPECT_DOUBLE_EQ(window.rate(), 0.0);  // empty window closed
+  EXPECT_EQ(window.rolls(), 2u);
+}
+
+TEST(LoadWindow, PerAgentCounts) {
+  LoadWindow window(sim::SimTime::seconds(1));
+  for (int i = 0; i < 5; ++i) window.record(7);
+  window.record(8);
+  window.roll();
+  std::uint32_t seven = 0, eight = 0;
+  for (const auto& load : window.loads()) {
+    if (load.agent == 7) seven = load.requests;
+    if (load.agent == 8) eight = load.requests;
+  }
+  EXPECT_EQ(seven, 5u);
+  EXPECT_EQ(eight, 1u);
+}
+
+}  // namespace
+}  // namespace agentloc::core

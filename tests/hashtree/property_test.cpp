@@ -1,0 +1,212 @@
+// Randomized property tests for the hash tree: arbitrary interleavings of
+// splits and merges must preserve (a) structural invariants, (b) the
+// partition property — every id maps to exactly one compatible leaf — and
+// (c) the paper's locality requirement: an operation only remaps agents of
+// the IAgents involved in it.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "hashtree/tree.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/rng.hpp"
+
+namespace agentloc::hashtree {
+namespace {
+
+using util::BitString;
+using util::Rng;
+
+constexpr std::size_t kProbeIds = 300;
+
+std::vector<std::uint64_t> make_probe_ids(Rng& rng) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kProbeIds);
+  for (std::size_t i = 0; i < kProbeIds; ++i) ids.push_back(rng.next());
+  return ids;
+}
+
+std::map<std::uint64_t, IAgentId> snapshot_mapping(
+    const HashTree& tree, const std::vector<std::uint64_t>& ids) {
+  std::map<std::uint64_t, IAgentId> mapping;
+  for (auto id : ids) mapping[id] = tree.lookup_id(id).iagent;
+  return mapping;
+}
+
+class HashTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HashTreeProperty, RandomOpsPreserveInvariantsAndLocality) {
+  Rng rng(GetParam());
+  const auto probes = make_probe_ids(rng);
+
+  HashTree tree(1, 0);
+  IAgentId next_id = 2;
+  NodeLocation next_node = 1;
+
+  auto before = snapshot_mapping(tree, probes);
+
+  for (int step = 0; step < 120; ++step) {
+    const auto leaves = tree.leaves();
+    const IAgentId victim =
+        leaves[rng.next_below(leaves.size())];
+
+    enum { kSimpleSplit, kComplexSplit, kMerge } op;
+    const auto roll = rng.next_below(10);
+    if (roll < 4) {
+      op = kSimpleSplit;
+    } else if (roll < 7) {
+      op = kComplexSplit;
+    } else {
+      op = kMerge;
+    }
+
+    // Which probe ids may legally change owner?
+    std::vector<std::uint64_t> may_change;
+    IAgentId created = kNoIAgent;
+
+    if (op == kSimpleSplit) {
+      const auto m = 1 + rng.next_below(3);
+      created = next_id++;
+      for (auto id : probes) {
+        if (before[id] == victim) may_change.push_back(id);
+      }
+      tree.simple_split(victim, m, created, next_node++);
+    } else if (op == kComplexSplit) {
+      const auto candidates = tree.complex_split_candidates(victim);
+      if (candidates.empty()) continue;
+      const auto point = candidates[rng.next_below(candidates.size())];
+      created = next_id++;
+      const std::size_t pos = tree.split_point_bit_position(victim, point);
+      const bool recorded =
+          tree.hyper_label_segments(victim)[point.segment][point.bit];
+      tree.complex_split(victim, point, created, next_node++);
+      tree.validate();
+      // The only legal movement is *to* the new leaf, and only for ids whose
+      // bit at the reclaimed position is the complement of the recorded
+      // padding bit. Everything else keeps its owner.
+      const auto after_split = snapshot_mapping(tree, probes);
+      for (auto id : probes) {
+        if (after_split.at(id) == created) {
+          EXPECT_EQ(BitString::from_uint(id, 64)[pos], !recorded)
+              << "id moved to the new leaf without the complement bit";
+        } else {
+          EXPECT_EQ(after_split.at(id), before.at(id))
+              << "complex split moved an id to an unrelated leaf";
+        }
+      }
+      before = after_split;
+      continue;
+    } else {
+      if (tree.leaf_count() < 2) continue;
+      for (auto id : probes) {
+        if (before[id] == victim) may_change.push_back(id);
+      }
+      tree.merge(victim);
+    }
+
+    tree.validate();
+    const auto after = snapshot_mapping(tree, probes);
+    for (auto id : probes) {
+      const bool allowed =
+          std::find(may_change.begin(), may_change.end(), id) !=
+          may_change.end();
+      if (!allowed) {
+        EXPECT_EQ(after.at(id), before.at(id))
+            << "op remapped an uninvolved id";
+      } else if (op == kSimpleSplit) {
+        // Victim's ids stay with the victim or move to the new leaf.
+        EXPECT_TRUE(after.at(id) == victim || after.at(id) == created);
+      }
+    }
+    before = after;
+  }
+}
+
+TEST_P(HashTreeProperty, EveryIdHasExactlyOneCompatibleLeaf) {
+  Rng rng(GetParam() ^ 0x700d);
+  HashTree tree(1, 0);
+  IAgentId next_id = 2;
+
+  for (int step = 0; step < 40; ++step) {
+    const auto leaves = tree.leaves();
+    const IAgentId victim = leaves[rng.next_below(leaves.size())];
+    if (rng.chance(0.6)) {
+      const auto candidates = tree.complex_split_candidates(victim);
+      if (!candidates.empty() && rng.chance(0.5)) {
+        tree.complex_split(victim, candidates[rng.next_below(candidates.size())],
+                           next_id++, 0);
+      } else {
+        tree.simple_split(victim, 1 + rng.next_below(2), next_id++, 0);
+      }
+    } else if (tree.leaf_count() > 1) {
+      tree.merge(victim);
+    }
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t value = rng.next();
+    const BitString id = BitString::from_uint(value, 64);
+    const IAgentId owner = tree.lookup(id).iagent;
+    std::size_t compatible = 0;
+    for (IAgentId leaf : tree.leaves()) {
+      if (tree.compatible(id, leaf)) {
+        ++compatible;
+        EXPECT_EQ(leaf, owner);
+      }
+    }
+    EXPECT_EQ(compatible, 1u);
+  }
+}
+
+TEST_P(HashTreeProperty, SerializationRoundTripsAfterRandomOps) {
+  Rng rng(GetParam() ^ 0xbeef);
+  HashTree tree(1, 0);
+  IAgentId next_id = 2;
+  for (int step = 0; step < 60; ++step) {
+    const auto leaves = tree.leaves();
+    const IAgentId victim = leaves[rng.next_below(leaves.size())];
+    if (rng.chance(0.65)) {
+      tree.simple_split(victim, 1 + rng.next_below(3), next_id++,
+                        static_cast<NodeLocation>(rng.next_below(16)));
+    } else if (tree.leaf_count() > 1) {
+      tree.merge(victim);
+    }
+  }
+  util::ByteWriter writer;
+  tree.serialize(writer);
+  util::ByteReader reader(writer.bytes());
+  const HashTree copy = HashTree::deserialize(reader);
+  EXPECT_EQ(copy, tree);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = rng.next();
+    EXPECT_EQ(copy.lookup_id(id).iagent, tree.lookup_id(id).iagent);
+  }
+}
+
+TEST_P(HashTreeProperty, CopiesDivergeIndependently) {
+  Rng rng(GetParam() ^ 0xc0ffee);
+  HashTree primary(1, 0);
+  IAgentId next_id = 2;
+  for (int i = 0; i < 10; ++i) {
+    primary.simple_split(primary.leaves()[0], 1, next_id++, 0);
+  }
+  HashTree secondary = primary;  // the LHAgent's stale copy
+  const auto frozen = snapshot_mapping(secondary, {1, 2, 3, 99, 12345});
+
+  for (int i = 0; i < 10; ++i) {
+    const auto leaves = primary.leaves();
+    primary.merge(leaves[rng.next_below(leaves.size())]);
+  }
+  EXPECT_EQ(snapshot_mapping(secondary, {1, 2, 3, 99, 12345}), frozen);
+  secondary.validate();
+  primary.validate();
+  EXPECT_NE(primary.leaf_count(), secondary.leaf_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashTreeProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace agentloc::hashtree

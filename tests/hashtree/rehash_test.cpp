@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hashtree/paper_figures.hpp"
+#include "hashtree/tree.hpp"
+
+namespace agentloc::hashtree {
+namespace {
+
+using util::BitString;
+
+constexpr IAgentId kFresh = 77;
+
+// ---------------------------------------------------------------------------
+// Simple split (paper §4.1, Figure 3)
+// ---------------------------------------------------------------------------
+
+TEST(SimpleSplit, Figure3SplitsIA3) {
+  HashTree tree = figure1_tree();
+  tree.simple_split(kIA3, 1, kIA7, 7);
+  tree.validate();
+  EXPECT_EQ(tree.leaf_count(), 8u);
+  EXPECT_EQ(tree.hyper_label(kIA3), "1.0.0");
+  EXPECT_EQ(tree.hyper_label(kIA7), "1.0.1");
+  EXPECT_EQ(tree.location_of(kIA7), 7u);
+  // Agents with bits 10 0… stay with IA3, 10 1… move to IA7; nothing else
+  // changes.
+  EXPECT_EQ(tree.lookup(BitString::parse("100")).iagent, kIA3);
+  EXPECT_EQ(tree.lookup(BitString::parse("101")).iagent, kIA7);
+  EXPECT_EQ(tree.lookup(BitString::parse("110")).iagent, kIA5);
+  EXPECT_EQ(tree.lookup(BitString::parse("010")).iagent, kIA1);
+}
+
+TEST(SimpleSplit, BumpsVersion) {
+  HashTree tree = figure1_tree();
+  const auto before = tree.version();
+  tree.simple_split(kIA3, 1, kIA7, 7);
+  EXPECT_GT(tree.version(), before);
+}
+
+TEST(SimpleSplit, MGreaterThanOneRecordsPadding) {
+  HashTree tree = figure1_tree();
+  // Split on the 3rd unused bit: two padding bits are added to IA3's edge.
+  tree.simple_split(kIA3, 3, kFresh, 9);
+  tree.validate();
+  EXPECT_EQ(tree.hyper_label(kIA3), "1.000.0");
+  EXPECT_EQ(tree.hyper_label(kFresh), "1.000.1");
+  EXPECT_EQ(tree.depth_bits(kIA3), 5u);
+  // Discrimination is on bit 4 now; bits 2-3 are ignored padding.
+  EXPECT_EQ(tree.lookup(BitString::parse("10011")).iagent, kFresh);
+  EXPECT_EQ(tree.lookup(BitString::parse("10111")).iagent, kFresh);
+  EXPECT_EQ(tree.lookup(BitString::parse("10010")).iagent, kIA3);
+  EXPECT_EQ(tree.lookup(BitString::parse("10100")).iagent, kIA3);
+}
+
+TEST(SimpleSplit, SplitsSingleLeafRoot) {
+  HashTree tree(5, 0);
+  tree.simple_split(5, 1, 6, 1);
+  tree.validate();
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  EXPECT_EQ(tree.hyper_label(5), "0");
+  EXPECT_EQ(tree.hyper_label(6), "1");
+  EXPECT_EQ(tree.lookup(BitString::parse("0")).iagent, 5u);
+  EXPECT_EQ(tree.lookup(BitString::parse("1")).iagent, 6u);
+}
+
+TEST(SimpleSplit, RootWithLargeMUsesRootPadding) {
+  HashTree tree(5, 0);
+  tree.simple_split(5, 3, 6, 1);
+  tree.validate();
+  // Bits 0-1 become root padding; bit 2 discriminates.
+  EXPECT_EQ(tree.lookup(BitString::parse("110")).iagent, 5u);
+  EXPECT_EQ(tree.lookup(BitString::parse("001")).iagent, 6u);
+  EXPECT_EQ(tree.depth_bits(5), 3u);
+  EXPECT_NE(tree.hyper_label(5).find("pad 00"), std::string::npos);
+}
+
+TEST(SimpleSplit, RejectsBadArguments) {
+  HashTree tree = figure1_tree();
+  EXPECT_THROW(tree.simple_split(kIA3, 0, kFresh, 0), std::invalid_argument);
+  EXPECT_THROW(tree.simple_split(kIA3, 1, kIA5, 0), std::invalid_argument);
+  EXPECT_THROW(tree.simple_split(kIA3, 1, kNoIAgent, 0),
+               std::invalid_argument);
+  EXPECT_THROW(tree.simple_split(999, 1, kFresh, 0), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Complex split (paper §4.1, Figure 4)
+// ---------------------------------------------------------------------------
+
+TEST(ComplexSplit, CandidatesInPaperOrder) {
+  const HashTree tree = figure1_tree();
+  // IA1's hyper-label is 0.10: the only padding bit is bit 1 of segment 2.
+  const auto ia1 = tree.complex_split_candidates(kIA1);
+  ASSERT_EQ(ia1.size(), 1u);
+  EXPECT_EQ(ia1[0], (SplitPoint{2, 1}));
+
+  // IA0 = 0.011.1.0: label "011" has padding bits 1 and 2, in that order.
+  const auto ia0 = tree.complex_split_candidates(kIA0);
+  ASSERT_EQ(ia0.size(), 2u);
+  EXPECT_EQ(ia0[0], (SplitPoint{2, 1}));
+  EXPECT_EQ(ia0[1], (SplitPoint{2, 2}));
+
+  // IA3 = 1.0: all labels one bit — no candidates, simple split territory.
+  EXPECT_TRUE(tree.complex_split_candidates(kIA3).empty());
+}
+
+TEST(ComplexSplit, BitPositions) {
+  const HashTree tree = figure1_tree();
+  // IA1 = (root pad ε).0.10 → the padding bit sits at global position 2.
+  EXPECT_EQ(tree.split_point_bit_position(kIA1, SplitPoint{2, 1}), 2u);
+  // IA0 = 0.011.1.0 → padding bits of "011" sit at positions 2 and 3.
+  EXPECT_EQ(tree.split_point_bit_position(kIA0, SplitPoint{2, 1}), 2u);
+  EXPECT_EQ(tree.split_point_bit_position(kIA0, SplitPoint{2, 2}), 3u);
+  EXPECT_THROW(tree.split_point_bit_position(kIA0, SplitPoint{9, 0}),
+               std::out_of_range);
+  EXPECT_THROW(tree.split_point_bit_position(kIA0, SplitPoint{2, 5}),
+               std::out_of_range);
+}
+
+TEST(ComplexSplit, Figure4SplitsIA1OnItsPaddingBit) {
+  HashTree tree = figure1_tree();
+  tree.complex_split(kIA1, SplitPoint{2, 1}, kIA7, 7);
+  tree.validate();
+  EXPECT_EQ(tree.leaf_count(), 8u);
+  // Label 10 splits into 1 · 0; the new IAgent takes the 1 side.
+  EXPECT_EQ(tree.hyper_label(kIA1), "0.1.0");
+  EXPECT_EQ(tree.hyper_label(kIA7), "0.1.1");
+  // Bit 2 now discriminates: 010… stays, 011… moves.
+  EXPECT_EQ(tree.lookup(BitString::parse("010")).iagent, kIA1);
+  EXPECT_EQ(tree.lookup(BitString::parse("011")).iagent, kIA7);
+  // Unrelated leaves untouched.
+  EXPECT_EQ(tree.hyper_label(kIA2), "0.011.0");
+  EXPECT_EQ(tree.lookup(BitString::parse("00110")).iagent, kIA2);
+}
+
+TEST(ComplexSplit, InteriorEdgeReclaimAffectsSubtreeOnly) {
+  HashTree tree = figure1_tree();
+  // Reclaim the first padding bit of label "011" (global position 2) from
+  // IA2's path. The recorded bit is 1, so the subtree keeps the 1 side and
+  // the new leaf takes ids with bit 2 = 0.
+  tree.complex_split(kIA2, SplitPoint{2, 1}, kFresh, 9);
+  tree.validate();
+  EXPECT_EQ(tree.hyper_label(kFresh), "0.0.01");
+  EXPECT_EQ(tree.hyper_label(kIA2), "0.0.11.0");
+  EXPECT_EQ(tree.hyper_label(kIA0), "0.0.11.1.0");
+  // id 00 0 10…: bit2=0 → new leaf (was IA2's: 00…10 had bit4=1? no, bit4=0
+  // → was IA2). Padding bit 3 remains ignored on both sides.
+  EXPECT_EQ(tree.lookup(BitString::parse("00010")).iagent, kFresh);
+  EXPECT_EQ(tree.lookup(BitString::parse("00000")).iagent, kFresh);
+  // bit2=1 keeps routing into the old subtree.
+  EXPECT_EQ(tree.lookup(BitString::parse("00100")).iagent, kIA2);
+  EXPECT_EQ(tree.lookup(BitString::parse("00111")).iagent, kIA0);
+  // IA1 (sibling branch, bit1=1) is untouched.
+  EXPECT_EQ(tree.lookup(BitString::parse("010")).iagent, kIA1);
+}
+
+TEST(ComplexSplit, RootPaddingReclaim) {
+  HashTree tree(5, 0);
+  tree.simple_split(5, 3, 6, 1);  // creates root padding "00"
+  tree.complex_split(5, SplitPoint{0, 0}, 7, 2);
+  tree.validate();
+  // Bit 0 now discriminates: recorded padding bit was 0, so the old subtree
+  // keeps the 0 side.
+  EXPECT_EQ(tree.lookup(BitString::parse("000")).iagent, 5u);
+  EXPECT_EQ(tree.lookup(BitString::parse("001")).iagent, 6u);
+  EXPECT_EQ(tree.lookup(BitString::parse("100")).iagent, 7u);
+  EXPECT_EQ(tree.lookup(BitString::parse("111")).iagent, 7u);
+}
+
+TEST(ComplexSplit, RejectsNonPaddingBit) {
+  HashTree tree = figure1_tree();
+  EXPECT_THROW(tree.complex_split(kIA1, SplitPoint{2, 0}, kFresh, 0),
+               std::out_of_range);
+  EXPECT_THROW(tree.complex_split(kIA1, SplitPoint{2, 7}, kFresh, 0),
+               std::out_of_range);
+  EXPECT_THROW(tree.complex_split(kIA1, SplitPoint{9, 1}, kFresh, 0),
+               std::out_of_range);
+  EXPECT_THROW(tree.complex_split(kIA1, SplitPoint{2, 1}, kIA5, 0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Merge (paper §4.2, Figures 5 and 6)
+// ---------------------------------------------------------------------------
+
+TEST(Merge, Figure5SimpleMergeIA6IntoIA5) {
+  HashTree tree = figure1_tree();
+  const MergeResult result = tree.merge(kIA6);
+  tree.validate();
+  EXPECT_EQ(result.kind, MergeResult::Kind::kSimple);
+  EXPECT_EQ(result.into_iagent, kIA5);
+  EXPECT_EQ(tree.leaf_count(), 6u);
+  EXPECT_FALSE(tree.contains(kIA6));
+  // IA5 moves up: now serves everything under prefix 11.
+  EXPECT_EQ(tree.hyper_label(kIA5), "1.1");
+  EXPECT_EQ(tree.lookup(BitString::parse("110")).iagent, kIA5);
+  EXPECT_EQ(tree.lookup(BitString::parse("111")).iagent, kIA5);
+  EXPECT_EQ(tree.lookup(BitString::parse("10")).iagent, kIA3);
+}
+
+TEST(Merge, SimpleMergeKeepsSiblingLocation) {
+  HashTree tree = figure1_tree();
+  tree.set_location(kIA5, 42);
+  tree.merge(kIA6);
+  EXPECT_EQ(tree.location_of(kIA5), 42u);
+}
+
+TEST(Merge, Figure6ComplexMergeIA1IntoSiblingSubtree) {
+  HashTree tree = figure1_tree();
+  const MergeResult result = tree.merge(kIA1);
+  tree.validate();
+  EXPECT_EQ(result.kind, MergeResult::Kind::kComplex);
+  EXPECT_EQ(tree.leaf_count(), 6u);
+  EXPECT_FALSE(tree.contains(kIA1));
+  // X's label absorbs the sibling's: 0 · 011 → 0011. Surviving leaves keep
+  // their exact bit positions.
+  EXPECT_EQ(tree.hyper_label(kIA2), "0011.0");
+  EXPECT_EQ(tree.hyper_label(kIA0), "0011.1.0");
+  EXPECT_EQ(tree.hyper_label(kIA4), "0011.1.1");
+  EXPECT_EQ(tree.lookup(BitString::parse("00110")).iagent, kIA2);
+  EXPECT_EQ(tree.lookup(BitString::parse("001110")).iagent, kIA0);
+  // IA1's former agents (bit1 = 1) now fall through into the subtree: bit 1
+  // became padding, so routing is by bits 4 (IA2 vs V) and 5 (IA0 vs IA4).
+  EXPECT_EQ(tree.lookup(BitString::parse("01000")).iagent, kIA2);
+  EXPECT_EQ(tree.lookup(BitString::parse("01001")).iagent, kIA0);
+  EXPECT_EQ(tree.lookup(BitString::parse("010010")).iagent, kIA0);
+  EXPECT_EQ(tree.lookup(BitString::parse("010011")).iagent, kIA4);
+  EXPECT_EQ(tree.lookup(BitString::parse("0100111")).iagent, kIA4);
+}
+
+TEST(Merge, ComplexMergeAtRootCreatesRootPadding) {
+  HashTree tree(5, 0);
+  tree.simple_split(5, 1, 6, 1);   // 5 at "0", 6 at "1"
+  tree.simple_split(6, 1, 7, 2);   // 6 at "1.0", 7 at "1.1"
+  const MergeResult result = tree.merge(5);
+  tree.validate();
+  EXPECT_EQ(result.kind, MergeResult::Kind::kComplex);
+  // Bit 0 becomes root padding; bit 1 discriminates 6 vs 7.
+  EXPECT_EQ(tree.lookup(BitString::parse("00")).iagent, 6u);
+  EXPECT_EQ(tree.lookup(BitString::parse("10")).iagent, 6u);
+  EXPECT_EQ(tree.lookup(BitString::parse("01")).iagent, 7u);
+  EXPECT_EQ(tree.lookup(BitString::parse("11")).iagent, 7u);
+  EXPECT_NE(tree.hyper_label(6).find("pad 1"), std::string::npos);
+}
+
+TEST(Merge, SimpleMergeAtRootShrinksToSingleLeaf) {
+  HashTree tree(5, 0);
+  tree.simple_split(5, 1, 6, 1);
+  const MergeResult result = tree.merge(6);
+  tree.validate();
+  EXPECT_EQ(result.kind, MergeResult::Kind::kSimple);
+  EXPECT_EQ(result.into_iagent, 5u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.lookup(BitString::parse("1")).iagent, 5u);
+}
+
+TEST(Merge, LastLeafCannotMerge) {
+  HashTree tree(5, 0);
+  EXPECT_THROW(tree.merge(5), std::logic_error);
+  EXPECT_THROW(tree.merge(999), std::out_of_range);
+}
+
+TEST(Merge, SplitThenMergeRestoresMapping) {
+  HashTree tree = figure1_tree();
+  HashTree reference = tree;
+  tree.simple_split(kIA3, 1, kIA7, 7);
+  tree.merge(kIA7);
+  tree.validate();
+  // Structure-wise the mapping is equivalent even if versions differ.
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    const BitString id = BitString::from_uint(v, 8);
+    EXPECT_EQ(tree.lookup(id).iagent, reference.lookup(id).iagent);
+  }
+}
+
+TEST(Merge, MergeMayLeaveMultiBitLabelsForLaterComplexSplit) {
+  // The full §4 life cycle: merge creates padding, complex split reclaims it.
+  HashTree tree(5, 0);
+  tree.simple_split(5, 1, 6, 1);
+  tree.simple_split(6, 1, 7, 2);
+  tree.merge(5);  // complex: root padding "0", labels of 6/7 keep positions
+  const auto candidates = tree.complex_split_candidates(6);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0], (SplitPoint{0, 0}));
+  tree.complex_split(6, candidates[0], 9, 3);
+  tree.validate();
+  // Bit 0 discriminates again: recorded padding was "1" (the old "1" side).
+  EXPECT_EQ(tree.lookup(BitString::parse("10")).iagent, 6u);
+  EXPECT_EQ(tree.lookup(BitString::parse("11")).iagent, 7u);
+  EXPECT_EQ(tree.lookup(BitString::parse("00")).iagent, 9u);
+}
+
+}  // namespace
+}  // namespace agentloc::hashtree

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hashtree/paper_figures.hpp"
+#include "hashtree/tree.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace agentloc::hashtree {
+namespace {
+
+TEST(Serialize, RoundTripSingleLeaf) {
+  const HashTree tree(42, 3);
+  util::ByteWriter writer;
+  tree.serialize(writer);
+  util::ByteReader reader(writer.bytes());
+  const HashTree copy = HashTree::deserialize(reader);
+  EXPECT_EQ(copy, tree);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serialize, RoundTripFigure1) {
+  const HashTree tree = figure1_tree();
+  util::ByteWriter writer;
+  tree.serialize(writer);
+  util::ByteReader reader(writer.bytes());
+  const HashTree copy = HashTree::deserialize(reader);
+  EXPECT_EQ(copy, tree);
+  EXPECT_EQ(copy.version(), tree.version());
+  EXPECT_EQ(copy.hyper_label(kIA0), "0.011.1.0");
+  copy.validate();
+}
+
+TEST(Serialize, RoundTripPreservesVersionAndLocations) {
+  HashTree tree = figure1_tree();
+  tree.set_location(kIA3, 77);
+  tree.simple_split(kIA5, 2, 99, 8);
+  util::ByteWriter writer;
+  tree.serialize(writer);
+  util::ByteReader reader(writer.bytes());
+  const HashTree copy = HashTree::deserialize(reader);
+  EXPECT_EQ(copy, tree);
+  EXPECT_EQ(copy.location_of(kIA3), 77u);
+  EXPECT_EQ(copy.version(), tree.version());
+}
+
+TEST(Serialize, SerializedBytesMatchesWriterOutput) {
+  const HashTree tree = figure1_tree();
+  util::ByteWriter writer;
+  tree.serialize(writer);
+  EXPECT_EQ(tree.serialized_bytes(), writer.size());
+  // Figure 1's tree is small: the snapshot an LHAgent pulls is well under a
+  // kilobyte.
+  EXPECT_LT(tree.serialized_bytes(), 200u);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  util::ByteWriter writer;
+  writer.write_u32(0x12345678);
+  writer.write_varint(1);
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW(HashTree::deserialize(reader), std::invalid_argument);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  const HashTree tree = figure1_tree();
+  util::ByteWriter writer;
+  tree.serialize(writer);
+  auto bytes = writer.bytes();
+  bytes.resize(bytes.size() / 2);
+  util::ByteReader reader(bytes);
+  EXPECT_THROW(HashTree::deserialize(reader), std::out_of_range);
+}
+
+TEST(Serialize, BadNodeFlagThrows) {
+  util::ByteWriter writer;
+  writer.write_u32(0x48545245);
+  writer.write_varint(1);
+  writer.write_u8(7);  // neither leaf nor internal
+  writer.write_bits(util::BitString());
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW(HashTree::deserialize(reader), std::invalid_argument);
+}
+
+TEST(Serialize, LeafWithZeroIAgentThrows) {
+  util::ByteWriter writer;
+  writer.write_u32(0x48545245);
+  writer.write_varint(1);
+  writer.write_u8(1);  // leaf
+  writer.write_bits(util::BitString());
+  writer.write_varint(0);  // invalid IAgent id
+  writer.write_u32(0);
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW(HashTree::deserialize(reader), std::invalid_argument);
+}
+
+TEST(Serialize, DuplicateLeafIdsFailValidation) {
+  util::ByteWriter writer;
+  writer.write_u32(0x48545245);
+  writer.write_varint(1);
+  writer.write_u8(0);  // internal root
+  writer.write_bits(util::BitString());
+  writer.write_u8(1);
+  writer.write_bits(util::BitString::parse("0"));
+  writer.write_varint(5);
+  writer.write_u32(0);
+  writer.write_u8(1);
+  writer.write_bits(util::BitString::parse("1"));
+  writer.write_varint(5);  // duplicate id
+  writer.write_u32(0);
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW(HashTree::deserialize(reader), std::logic_error);
+}
+
+TEST(Serialize, MismatchedValidBitFailsValidation) {
+  util::ByteWriter writer;
+  writer.write_u32(0x48545245);
+  writer.write_varint(1);
+  writer.write_u8(0);
+  writer.write_bits(util::BitString());
+  writer.write_u8(1);
+  writer.write_bits(util::BitString::parse("1"));  // on the 0 side: invalid
+  writer.write_varint(5);
+  writer.write_u32(0);
+  writer.write_u8(1);
+  writer.write_bits(util::BitString::parse("1"));
+  writer.write_varint(6);
+  writer.write_u32(0);
+  util::ByteReader reader(writer.bytes());
+  EXPECT_THROW(HashTree::deserialize(reader), std::logic_error);
+}
+
+}  // namespace
+}  // namespace agentloc::hashtree

@@ -1,0 +1,88 @@
+// Structural identities of HashTree::Stats, checked over random op
+// sequences. These are consequences of the binary-tree shape and the
+// valid-bit rule, so they double as a second, independent validator:
+//
+//   leaves == internal_nodes + 1           (full binary tree)
+//   non-root nodes == 2 * internal_nodes   (each internal has 2 children)
+//   valid bits == non-root nodes           (one per edge)
+//   padding == total_label_bits - valid bits
+//   min_depth_bits <= mean <= max_depth_bits
+//   height <= max_depth_bits               (every edge carries >= 1 bit)
+
+#include <gtest/gtest.h>
+
+#include "hashtree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace agentloc::hashtree {
+namespace {
+
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, IdentitiesHoldUnderRandomOps) {
+  util::Rng rng(GetParam());
+  HashTree tree(1, 0);
+  IAgentId next = 2;
+
+  for (int step = 0; step < 150; ++step) {
+    const auto leaves = tree.leaves();
+    const IAgentId victim = leaves[rng.next_below(leaves.size())];
+    const auto roll = rng.next_below(10);
+    if (roll < 5 || tree.leaf_count() == 1) {
+      tree.simple_split(victim, 1 + rng.next_below(3), next++,
+                        static_cast<NodeLocation>(rng.next_below(8)));
+    } else if (roll < 7) {
+      const auto candidates = tree.complex_split_candidates(victim);
+      if (!candidates.empty()) {
+        tree.complex_split(victim,
+                           candidates[rng.next_below(candidates.size())],
+                           next++, 0);
+      }
+    } else {
+      tree.merge(victim);
+    }
+
+    const auto stats = tree.stats();
+    ASSERT_EQ(stats.leaves, tree.leaf_count());
+    ASSERT_EQ(stats.leaves, stats.internal_nodes + 1);
+    const std::size_t non_root = stats.leaves + stats.internal_nodes - 1;
+    ASSERT_EQ(non_root, 2 * stats.internal_nodes);
+    ASSERT_EQ(stats.padding_bits, stats.total_label_bits - non_root);
+    if (stats.leaves > 0) {
+      ASSERT_LE(stats.min_depth_bits, stats.mean_depth_bits + 1e-9);
+      ASSERT_LE(stats.mean_depth_bits, stats.max_depth_bits + 1e-9);
+    }
+    ASSERT_LE(stats.height, stats.max_depth_bits);
+    ASSERT_EQ(stats.height, tree.height());
+  }
+}
+
+TEST_P(StatsProperty, DepthAgreesWithPerLeafQueries) {
+  util::Rng rng(GetParam() ^ 0xd00d);
+  HashTree tree(1, 0);
+  IAgentId next = 2;
+  for (int step = 0; step < 60; ++step) {
+    const auto leaves = tree.leaves();
+    tree.simple_split(leaves[rng.next_below(leaves.size())],
+                      1 + rng.next_below(2), next++, 0);
+  }
+  const auto stats = tree.stats();
+  std::size_t min_depth = SIZE_MAX, max_depth = 0, sum = 0;
+  for (const auto leaf : tree.leaves()) {
+    const auto depth = tree.depth_bits(leaf);
+    min_depth = std::min(min_depth, depth);
+    max_depth = std::max(max_depth, depth);
+    sum += depth;
+  }
+  EXPECT_EQ(stats.min_depth_bits, min_depth);
+  EXPECT_EQ(stats.max_depth_bits, max_depth);
+  EXPECT_NEAR(stats.mean_depth_bits,
+              static_cast<double>(sum) / static_cast<double>(tree.leaf_count()),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace agentloc::hashtree

@@ -1,0 +1,71 @@
+// End-to-end smoke tests: run small experiments through the public workload
+// API and check the system behaves like the paper's — queries succeed, the
+// hash mechanism splits under load, and the centralized tracker funnels
+// everything through one agent.
+
+#include <gtest/gtest.h>
+
+#include "workload/experiment.hpp"
+
+namespace agentloc::workload {
+namespace {
+
+ExperimentConfig small_config(const std::string& scheme) {
+  ExperimentConfig config;
+  config.scheme = scheme;
+  config.nodes = 8;
+  config.tagents = 20;
+  config.residence = sim::SimTime::millis(500);
+  config.total_queries = 200;
+  config.queriers = 2;
+  config.think = sim::SimTime::millis(50);
+  config.warmup = sim::SimTime::seconds(20);
+  config.seed = 42;
+  return config;
+}
+
+TEST(ExperimentSmoke, HashSchemeAnswersQueries) {
+  const ExperimentResult result = run_experiment(small_config("hash"));
+  EXPECT_EQ(result.queries_found + result.queries_failed, 200u);
+  EXPECT_GT(result.queries_found, 190u);  // failures should be rare
+  EXPECT_GT(result.location_ms.count(), 0u);
+  EXPECT_GT(result.location_ms.mean(), 0.1);
+  EXPECT_LT(result.location_ms.mean(), 100.0);
+  EXPECT_GT(result.tagent_moves, 100u);
+}
+
+TEST(ExperimentSmoke, HashSchemeSplitsUnderLoad) {
+  ExperimentConfig config = small_config("hash");
+  config.tagents = 50;
+  config.residence = sim::SimTime::millis(200);  // 250 updates/s >> Tmax
+  config.warmup = sim::SimTime::seconds(40);
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_GT(result.trackers_at_end, 3u)
+      << "expected the mechanism to deploy more IAgents under load";
+  EXPECT_GT(result.queries_found, 190u);
+}
+
+TEST(ExperimentSmoke, CentralizedSchemeAnswersQueries) {
+  const ExperimentResult result = run_experiment(small_config("centralized"));
+  EXPECT_EQ(result.trackers_at_end, 1u);
+  EXPECT_GT(result.queries_found, 190u);
+  EXPECT_LT(result.location_ms.mean(), 200.0);
+}
+
+TEST(ExperimentSmoke, DeterministicAcrossRuns) {
+  const ExperimentConfig config = small_config("hash");
+  const ExperimentResult a = run_experiment(config);
+  const ExperimentResult b = run_experiment(config);
+  ASSERT_EQ(a.location_ms.count(), b.location_ms.count());
+  EXPECT_EQ(a.location_ms.mean(), b.location_ms.mean());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.tagent_moves, b.tagent_moves);
+}
+
+TEST(ExperimentSmoke, UnknownSchemeThrows) {
+  ExperimentConfig config = small_config("nonsense");
+  EXPECT_THROW(run_experiment(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agentloc::workload

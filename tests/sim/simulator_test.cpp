@@ -1,0 +1,198 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agentloc::sim {
+namespace {
+
+TEST(SimTime, ConversionsAndArithmetic) {
+  EXPECT_EQ(SimTime::millis(1.5).as_nanos(), 1'500'000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2).as_millis(), 2000.0);
+  EXPECT_DOUBLE_EQ(SimTime::micros(5).as_micros(), 5.0);
+  EXPECT_EQ(SimTime::millis(1) + SimTime::millis(2), SimTime::millis(3));
+  EXPECT_EQ(SimTime::millis(3) - SimTime::millis(2), SimTime::millis(1));
+  EXPECT_EQ(SimTime::millis(2) * 3, SimTime::millis(6));
+  EXPECT_EQ(SimTime::millis(6) / 3, SimTime::millis(2));
+  EXPECT_LT(SimTime::zero(), SimTime::millis(1));
+  EXPECT_LT(SimTime::seconds(100000), SimTime::infinity());
+}
+
+TEST(SimTime, Rendering) {
+  EXPECT_EQ(SimTime::millis(12.5).str(), "12.500ms");
+}
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::millis(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::millis(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::millis(3));
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime observed = SimTime::zero();
+  sim.schedule_at(SimTime::millis(5), [&] {
+    sim.schedule_after(SimTime::millis(2),
+                       [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, SimTime::millis(7));
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  SimTime observed = SimTime::millis(-1);
+  sim.schedule_at(SimTime::millis(5), [&] {
+    sim.schedule_at(SimTime::millis(1), [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, SimTime::millis(5));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(SimTime::millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(9999));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineInclusive) {
+  Simulator sim;
+  std::vector<int> ran;
+  sim.schedule_at(SimTime::millis(1), [&] { ran.push_back(1); });
+  sim.schedule_at(SimTime::millis(2), [&] { ran.push_back(2); });
+  sim.schedule_at(SimTime::millis(3), [&] { ran.push_back(3); });
+  const auto count = sim.run_until(SimTime::millis(2));
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), SimTime::millis(2));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOverIdleStretch) {
+  Simulator sim;
+  sim.run_until(SimTime::millis(10));
+  EXPECT_EQ(sim.now(), SimTime::millis(10));
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::millis(1), [&] { ++count; });
+  sim.schedule_at(SimTime::millis(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RequestStopBreaksRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::millis(1), [&] {
+    ++count;
+    sim.request_stop();
+  });
+  sim.schedule_at(SimTime::millis(2), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleChains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(SimTime::micros(10), chain);
+  };
+  sim.schedule_after(SimTime::micros(10), chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), SimTime::micros(1000));
+  EXPECT_EQ(sim.executed(), 100u);
+}
+
+TEST(Simulator, CancellationStress) {
+  // Schedule many events, cancel a random subset, and check that exactly
+  // the survivors run, in timestamp order.
+  Simulator sim;
+  std::vector<EventId> ids;
+  std::vector<int> ran;
+  for (int i = 0; i < 500; ++i) {
+    // Deliberately colliding timestamps to stress tie-breaking.
+    ids.push_back(sim.schedule_at(SimTime::micros((i * 37) % 100),
+                                  [&ran, i] { ran.push_back(i); }));
+  }
+  std::vector<bool> cancelled(500, false);
+  for (int i = 0; i < 500; i += 3) {
+    cancelled[static_cast<std::size_t>(i)] = true;
+    EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  sim.run();
+  EXPECT_EQ(ran.size(), 500u - 167u);
+  for (const int i : ran) {
+    EXPECT_FALSE(cancelled[static_cast<std::size_t>(i)]) << i;
+  }
+  // Timestamp order: (i*37)%100 must be non-decreasing over `ran`.
+  for (std::size_t k = 1; k < ran.size(); ++k) {
+    EXPECT_LE((ran[k - 1] * 37) % 100, (ran[k] * 37) % 100);
+  }
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelInsideHandlerOfSameTimestamp) {
+  Simulator sim;
+  bool second_ran = false;
+  EventId second = kInvalidEvent;
+  sim.schedule_at(SimTime::millis(1), [&] { sim.cancel(second); });
+  second = sim.schedule_at(SimTime::millis(1), [&] { second_ran = true; });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulator, PendingCountsExcludeCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(SimTime::millis(1), [] {});
+  sim.schedule_at(SimTime::millis(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+}
+
+}  // namespace
+}  // namespace agentloc::sim

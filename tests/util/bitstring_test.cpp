@@ -1,0 +1,213 @@
+#include "util/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace agentloc::util {
+namespace {
+
+TEST(BitString, DefaultIsEmpty) {
+  BitString bits;
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.to_string(), "");
+}
+
+TEST(BitString, FilledConstructor) {
+  BitString zeros(5, false);
+  EXPECT_EQ(zeros.to_string(), "00000");
+  BitString ones(70, true);
+  EXPECT_EQ(ones.size(), 70u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(ones[i]) << i;
+}
+
+TEST(BitString, InitializerList) {
+  BitString bits{true, false, true, true};
+  EXPECT_EQ(bits.to_string(), "1011");
+  EXPECT_TRUE(bits.front());
+  EXPECT_TRUE(bits.back());
+}
+
+TEST(BitString, ParseRoundTrip) {
+  const std::string text = "0110100111000101";
+  EXPECT_EQ(BitString::parse(text).to_string(), text);
+}
+
+TEST(BitString, ParseRejectsJunk) {
+  EXPECT_THROW(BitString::parse("01x0"), std::invalid_argument);
+  EXPECT_THROW(BitString::parse(" 01"), std::invalid_argument);
+}
+
+TEST(BitString, FromUintPadsToWidth) {
+  EXPECT_EQ(BitString::from_uint(5, 8).to_string(), "00000101");
+  EXPECT_EQ(BitString::from_uint(1, 1).to_string(), "1");
+  EXPECT_EQ(BitString::from_uint(0, 4).to_string(), "0000");
+}
+
+TEST(BitString, FromUintFullWidth) {
+  const std::uint64_t value = 0x8000000000000001ull;
+  const BitString bits = BitString::from_uint(value, 64);
+  EXPECT_TRUE(bits[0]);
+  EXPECT_TRUE(bits[63]);
+  for (std::size_t i = 1; i < 63; ++i) EXPECT_FALSE(bits[i]);
+  EXPECT_EQ(bits.to_uint(), value);
+}
+
+TEST(BitString, FromUintRejectsWideWidth) {
+  EXPECT_THROW(BitString::from_uint(1, 65), std::invalid_argument);
+}
+
+TEST(BitString, AtThrowsOutOfRange) {
+  BitString bits{true};
+  EXPECT_THROW(bits.at(1), std::out_of_range);
+  EXPECT_THROW(BitString().front(), std::out_of_range);
+}
+
+TEST(BitString, PushPopAcrossWordBoundary) {
+  BitString bits;
+  for (int i = 0; i < 130; ++i) bits.push_back(i % 3 == 0);
+  EXPECT_EQ(bits.size(), 130u);
+  for (int i = 129; i >= 0; --i) {
+    EXPECT_EQ(bits.back(), i % 3 == 0) << i;
+    bits.pop_back();
+  }
+  EXPECT_TRUE(bits.empty());
+  EXPECT_THROW(bits.pop_back(), std::logic_error);
+}
+
+TEST(BitString, SetFlipsBits) {
+  BitString bits(8, false);
+  bits.set(3, true);
+  EXPECT_EQ(bits.to_string(), "00010000");
+  bits.set(3, false);
+  EXPECT_EQ(bits.to_string(), "00000000");
+  EXPECT_THROW(bits.set(8, true), std::out_of_range);
+}
+
+TEST(BitString, AppendConcatenates) {
+  BitString a = BitString::parse("10");
+  BitString b = BitString::parse("011");
+  a.append(b);
+  EXPECT_EQ(a.to_string(), "10011");
+}
+
+TEST(BitString, SelfAppendIsSafe) {
+  BitString a = BitString::parse("101");
+  a.append(a);
+  EXPECT_EQ(a.to_string(), "101101");
+}
+
+TEST(BitString, PrefixSubstrSuffix) {
+  const BitString bits = BitString::parse("1100101");
+  EXPECT_EQ(bits.prefix(0).to_string(), "");
+  EXPECT_EQ(bits.prefix(4).to_string(), "1100");
+  EXPECT_EQ(bits.substr(2, 3).to_string(), "001");
+  EXPECT_EQ(bits.suffix_from(5).to_string(), "01");
+  EXPECT_EQ(bits.suffix_from(7).to_string(), "");
+  EXPECT_THROW(bits.prefix(8), std::out_of_range);
+  EXPECT_THROW(bits.substr(5, 3), std::out_of_range);
+  EXPECT_THROW(bits.suffix_from(8), std::out_of_range);
+}
+
+TEST(BitString, PrefixClearsDroppedBits) {
+  // Equality compares packed words; prefix must zero the dropped tail bits.
+  const BitString bits = BitString::parse("1111");
+  EXPECT_EQ(bits.prefix(2), BitString::parse("11"));
+  EXPECT_EQ(bits.prefix(2).hash(), BitString::parse("11").hash());
+}
+
+TEST(BitString, IsPrefixOf) {
+  const BitString whole = BitString::parse("10110");
+  EXPECT_TRUE(BitString().is_prefix_of(whole));
+  EXPECT_TRUE(BitString::parse("101").is_prefix_of(whole));
+  EXPECT_TRUE(whole.is_prefix_of(whole));
+  EXPECT_FALSE(BitString::parse("100").is_prefix_of(whole));
+  EXPECT_FALSE(BitString::parse("101101").is_prefix_of(whole));
+}
+
+TEST(BitString, CommonPrefixLength) {
+  EXPECT_EQ(BitString::parse("1010").common_prefix_length(
+                BitString::parse("1001")),
+            2u);
+  EXPECT_EQ(BitString().common_prefix_length(BitString::parse("1")), 0u);
+  // Exercise the word-at-a-time fast path.
+  BitString a(200, true);
+  BitString b(200, true);
+  b.set(130, false);
+  EXPECT_EQ(a.common_prefix_length(b), 130u);
+}
+
+TEST(BitString, ToUintMsbFirst) {
+  EXPECT_EQ(BitString::parse("101").to_uint(), 5u);
+  EXPECT_EQ(BitString().to_uint(), 0u);
+  EXPECT_EQ(BitString::parse("0001").to_uint(), 1u);
+}
+
+TEST(BitString, ComparisonIsLexicographic) {
+  EXPECT_LT(BitString::parse("0"), BitString::parse("1"));
+  EXPECT_LT(BitString::parse("01"), BitString::parse("1"));
+  EXPECT_LT(BitString::parse("1"), BitString::parse("10"));
+  EXPECT_EQ(BitString::parse("10") <=> BitString::parse("10"),
+            std::strong_ordering::equal);
+}
+
+TEST(BitString, EqualityIncludesLength) {
+  EXPECT_NE(BitString::parse("10"), BitString::parse("100"));
+  EXPECT_EQ(BitString::parse("10"), BitString::parse("10"));
+}
+
+TEST(BitString, HashDistinguishesLengths) {
+  EXPECT_NE(BitString::parse("0").hash(), BitString::parse("00").hash());
+  EXPECT_NE(BitString().hash(), BitString::parse("0").hash());
+}
+
+TEST(BitString, ClearResets) {
+  BitString bits = BitString::parse("111");
+  bits.clear();
+  EXPECT_TRUE(bits.empty());
+  bits.push_back(true);
+  EXPECT_EQ(bits.to_string(), "1");
+}
+
+// Property sweep: random round trips between representations.
+class BitStringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitStringProperty, StringRoundTrip) {
+  Rng rng(GetParam());
+  std::string text;
+  const auto length = static_cast<std::size_t>(rng.next_below(300));
+  for (std::size_t i = 0; i < length; ++i) {
+    text.push_back(rng.chance(0.5) ? '1' : '0');
+  }
+  const BitString bits = BitString::parse(text);
+  EXPECT_EQ(bits.to_string(), text);
+  EXPECT_EQ(bits.size(), text.size());
+}
+
+TEST_P(BitStringProperty, SubstrRecombines) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  BitString bits;
+  const auto length = 1 + static_cast<std::size_t>(rng.next_below(200));
+  for (std::size_t i = 0; i < length; ++i) bits.push_back(rng.chance(0.5));
+  const auto cut = static_cast<std::size_t>(rng.next_below(length + 1));
+  BitString head = bits.prefix(cut);
+  const BitString tail = bits.suffix_from(cut);
+  head.append(tail);
+  EXPECT_EQ(head, bits);
+}
+
+TEST_P(BitStringProperty, UintRoundTrip) {
+  Rng rng(GetParam() ^ 0x5eed);
+  const std::uint64_t value = rng.next();
+  EXPECT_EQ(BitString::from_uint(value, 64).to_uint(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStringProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace agentloc::util

@@ -1,0 +1,80 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace agentloc::util {
+namespace {
+
+TEST(Flags, EqualsSyntax) {
+  Flags flags({"--agents=100", "--rate=2.5", "--verbose=true"});
+  EXPECT_EQ(flags.get_int("agents", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
+TEST(Flags, SpaceSyntax) {
+  Flags flags({"--agents", "42", "--name", "exp1"});
+  EXPECT_EQ(flags.get_int("agents", 0), 42);
+  EXPECT_EQ(flags.get_string("name", ""), "exp1");
+}
+
+TEST(Flags, BareBooleanFlag) {
+  Flags flags({"--fast", "--slow", "--x=1"});
+  EXPECT_TRUE(flags.get_bool("fast", false));
+  EXPECT_TRUE(flags.get_bool("slow", false));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  Flags flags({});
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_EQ(flags.get_string("missing", "d"), "d");
+  EXPECT_FALSE(flags.get_bool("missing", false));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, PositionalArguments) {
+  Flags flags({"first", "--k=v", "second"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "first");
+  EXPECT_EQ(flags.positional()[1], "second");
+}
+
+TEST(Flags, IntList) {
+  Flags flags({"--sweep=100,200,300"});
+  const auto list = flags.get_int_list("sweep", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 100);
+  EXPECT_EQ(list[2], 300);
+  const auto fallback = flags.get_int_list("other", {1, 2});
+  EXPECT_EQ(fallback.size(), 2u);
+}
+
+TEST(Flags, BoolSpellings) {
+  Flags flags({"--a=yes", "--b=off", "--c=1", "--d=false"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+  Flags bad({"--e=maybe"});
+  EXPECT_THROW(bad.get_bool("e", false), std::invalid_argument);
+}
+
+TEST(Flags, FailOnUnknown) {
+  Flags flags({"--known=1", "--mystery=2"});
+  flags.get_int("known", 0);
+  EXPECT_THROW(flags.fail_on_unknown(), std::invalid_argument);
+  flags.declare("mystery");
+  EXPECT_NO_THROW(flags.fail_on_unknown());
+}
+
+TEST(Flags, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--x=5"};
+  Flags flags(2, argv);
+  EXPECT_EQ(flags.get_int("x", 0), 5);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+}  // namespace
+}  // namespace agentloc::util

@@ -1,0 +1,124 @@
+#include "workload/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hash_scheme.hpp"
+
+namespace agentloc::workload {
+namespace {
+
+ExperimentConfig tiny(const std::string& scheme) {
+  ExperimentConfig config;
+  config.scheme = scheme;
+  config.nodes = 6;
+  config.tagents = 8;
+  config.total_queries = 60;
+  config.queriers = 2;
+  config.warmup = sim::SimTime::seconds(5);
+  config.think = sim::SimTime::millis(20);
+  config.seed = 11;
+  return config;
+}
+
+TEST(ExperimentRunner, AllFourSchemesRun) {
+  for (const char* scheme : {"hash", "centralized", "home", "forwarding"}) {
+    const ExperimentResult result = run_experiment(tiny(scheme));
+    EXPECT_EQ(result.queries_found + result.queries_failed, 60u)
+        << scheme;
+    EXPECT_GT(result.queries_found, 55u) << scheme;
+    EXPECT_GT(result.tagent_moves, 0u) << scheme;
+    EXPECT_GT(result.events_executed, 500u) << scheme;
+  }
+}
+
+TEST(ExperimentRunner, SamplerFiresAtRequestedPeriod) {
+  ExperimentConfig config = tiny("hash");
+  config.sample_period = sim::SimTime::seconds(1);
+  std::vector<double> sample_times;
+  config.sampler = [&](sim::SimTime t, core::LocationScheme& scheme) {
+    sample_times.push_back(t.as_seconds());
+    EXPECT_GE(scheme.tracker_count(), 1u);
+  };
+  run_experiment(config);
+  ASSERT_GE(sample_times.size(), 5u);
+  EXPECT_NEAR(sample_times[1] - sample_times[0], 1.0, 1e-9);
+}
+
+TEST(ExperimentRunner, OnFinishSeesFinalScheme) {
+  ExperimentConfig config = tiny("hash");
+  bool inspected = false;
+  config.on_finish = [&](core::LocationScheme& scheme) {
+    inspected = true;
+    EXPECT_EQ(scheme.name(), "hash");
+    auto& hash = static_cast<core::HashLocationScheme&>(scheme);
+    hash.hagent().tree().validate();
+  };
+  run_experiment(config);
+  EXPECT_TRUE(inspected);
+}
+
+TEST(ExperimentRunner, SequentialIdsReachTheWorkload) {
+  ExperimentConfig config = tiny("hash");
+  config.mixed_ids = false;
+  config.on_finish = [](core::LocationScheme& scheme) {
+    auto& hash = static_cast<core::HashLocationScheme&>(scheme);
+    // Sequential ids share their high-order bits; any split must therefore
+    // have pushed discriminators deep into the id.
+    for (const auto leaf : hash.hagent().tree().leaves()) {
+      for (const auto& [position, bit] :
+           core::predicate_of(hash.hagent().tree(), leaf).valid_bits) {
+        EXPECT_GT(position, 40u);
+      }
+    }
+  };
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_GT(result.queries_found, 55u);
+}
+
+TEST(ExperimentRunner, RepeatsAccumulateSamplesAndCounters) {
+  ExperimentConfig config = tiny("centralized");
+  const ExperimentResult once = run_experiment(config);
+  const ExperimentResult thrice = run_repeated(config, 3);
+  EXPECT_EQ(thrice.location_ms.count(), 3 * once.location_ms.count());
+  EXPECT_GT(thrice.scheme_stats.updates, 2 * once.scheme_stats.updates);
+  EXPECT_GT(thrice.sim_seconds, 2.9 * once.sim_seconds);
+  // Different seeds per repeat: the merged mean is not just the single run.
+  EXPECT_GT(thrice.network_stats.messages_sent,
+            once.network_stats.messages_sent);
+}
+
+TEST(ExperimentRunner, ZeroQueriersStillRuns) {
+  ExperimentConfig config = tiny("hash");
+  config.queriers = 0;
+  config.total_queries = 0;
+  config.measure_deadline = sim::SimTime::seconds(2);
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.location_ms.count(), 0u);
+  EXPECT_GT(result.tagent_moves, 0u);
+}
+
+TEST(ExperimentRunner, SkewedTargetsStillAllFound) {
+  ExperimentConfig config = tiny("hash");
+  config.target_skew = 1.5;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.queries_failed, 0u);
+}
+
+TEST(MakeScheme, ConstructsEachKind) {
+  sim::Simulator simulator;
+  net::Network network(simulator, 4, net::make_default_lan_model(),
+                       util::Rng(1));
+  platform::AgentSystem system(simulator, network);
+  core::MechanismConfig mechanism;
+  EXPECT_EQ(make_scheme("hash", system, mechanism)->name(), "hash");
+  EXPECT_EQ(make_scheme("centralized", system, mechanism)->name(),
+            "centralized");
+  EXPECT_EQ(make_scheme("home", system, mechanism)->name(), "home");
+  EXPECT_EQ(make_scheme("forwarding", system, mechanism)->name(),
+            "forwarding");
+  EXPECT_THROW(make_scheme("bogus", system, mechanism),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agentloc::workload

@@ -1,0 +1,49 @@
+#include "workload/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agentloc::workload {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "22"});
+  const std::string text = table.str();
+  EXPECT_NE(text.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(text.find("| long-name | 22    |"), std::string::npos);
+  EXPECT_NE(text.find("|-"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string text = table.str();
+  EXPECT_NE(text.find("only"), std::string::npos);
+  // Three columns rendered even though one cell was provided.
+  const auto last_line = text.substr(text.rfind("| only"));
+  EXPECT_EQ(std::count(last_line.begin(), last_line.end(), '|'), 4);
+}
+
+TEST(Fmt, FormatsPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(2.0), "2.00");
+  EXPECT_EQ(fmt_count(42), "42");
+}
+
+TEST(AsciiSeries, ScalesToPeak) {
+  const std::string text = ascii_series(
+      {{"small", 1.0}, {"big", 10.0}}, 10);
+  // The peak gets the full width, the small value a proportional bar.
+  EXPECT_NE(text.find("big   |########## 10.00"), std::string::npos);
+  EXPECT_NE(text.find("small |# 1.00"), std::string::npos);
+}
+
+TEST(AsciiSeries, HandlesZeros) {
+  const std::string text = ascii_series({{"zero", 0.0}}, 10);
+  EXPECT_NE(text.find("zero |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agentloc::workload

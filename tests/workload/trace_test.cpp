@@ -1,0 +1,82 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/experiment.hpp"
+
+namespace agentloc::workload {
+namespace {
+
+QueryTrace make_trace(double issued_ms, double latency_ms, bool found) {
+  QueryTrace trace;
+  trace.issued_at = sim::SimTime::millis(issued_ms);
+  trace.completed_at = sim::SimTime::millis(issued_ms + latency_ms);
+  trace.target = 42;
+  trace.found = found;
+  trace.reported_node = found ? 3 : net::kNoNode;
+  trace.attempts = 1;
+  return trace;
+}
+
+TEST(TraceLog, LatencyComputedFromTimestamps) {
+  const QueryTrace trace = make_trace(100.0, 7.5, true);
+  EXPECT_DOUBLE_EQ(trace.latency_ms(), 7.5);
+}
+
+TEST(TraceLog, CsvHasHeaderAndRows) {
+  TraceLog log;
+  log.add(make_trace(10.0, 5.0, true));
+  log.add(make_trace(20.0, 6.0, false));
+  const std::string csv = log.to_csv();
+  EXPECT_EQ(csv.find("t_issued_ms,"), 0u);
+  EXPECT_NE(csv.find("10,15,5,42,1,3,1"), std::string::npos);
+  EXPECT_NE(csv.find("20,26,6,42,0,-,1"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(TraceLog, WriteCsvCreatesFile) {
+  TraceLog log;
+  log.add(make_trace(1.0, 2.0, true));
+  const std::string path = ::testing::TempDir() + "agentloc_trace_test.csv";
+  log.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "t_issued_ms,t_completed_ms,latency_ms,target,found,node,attempts");
+  std::remove(path.c_str());
+}
+
+TEST(TraceLog, WriteCsvFailsLoudly) {
+  TraceLog log;
+  EXPECT_THROW(log.write_csv("/nonexistent-dir/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceLog, ExperimentRunnerWritesTraces) {
+  ExperimentConfig config;
+  config.scheme = "centralized";
+  config.nodes = 6;
+  config.tagents = 5;
+  config.total_queries = 40;
+  config.queriers = 2;
+  config.warmup = sim::SimTime::seconds(5);
+  config.trace_csv_path = ::testing::TempDir() + "agentloc_exp_trace.csv";
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.queries_found, 40u);
+
+  std::ifstream in(config.trace_csv_path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 41u);  // header + one row per query
+  std::remove(config.trace_csv_path.c_str());
+}
+
+}  // namespace
+}  // namespace agentloc::workload
