@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_schemes.dir/bench/bench_ablation_schemes.cpp.o"
+  "CMakeFiles/bench_ablation_schemes.dir/bench/bench_ablation_schemes.cpp.o.d"
+  "bench/bench_ablation_schemes"
+  "bench/bench_ablation_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

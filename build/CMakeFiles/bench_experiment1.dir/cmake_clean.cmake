@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiment1.dir/bench/bench_experiment1.cpp.o"
+  "CMakeFiles/bench_experiment1.dir/bench/bench_experiment1.cpp.o.d"
+  "bench/bench_experiment1"
+  "bench/bench_experiment1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiment1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

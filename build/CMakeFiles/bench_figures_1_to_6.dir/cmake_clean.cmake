@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figures_1_to_6.dir/bench/bench_figures_1_to_6.cpp.o"
+  "CMakeFiles/bench_figures_1_to_6.dir/bench/bench_figures_1_to_6.cpp.o.d"
+  "bench/bench_figures_1_to_6"
+  "bench/bench_figures_1_to_6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figures_1_to_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hashtree_micro.dir/bench/bench_hashtree_micro.cpp.o"
+  "CMakeFiles/bench_hashtree_micro.dir/bench/bench_hashtree_micro.cpp.o.d"
+  "bench/bench_hashtree_micro"
+  "bench/bench_hashtree_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hashtree_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watch.dir/bench/bench_watch.cpp.o"
+  "CMakeFiles/bench_watch.dir/bench/bench_watch.cpp.o.d"
+  "bench/bench_watch"
+  "bench/bench_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

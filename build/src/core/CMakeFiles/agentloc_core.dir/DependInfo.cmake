@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/centralized_scheme.cpp" "src/core/CMakeFiles/agentloc_core.dir/centralized_scheme.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/centralized_scheme.cpp.o.d"
+  "/root/repo/src/core/forwarding_scheme.cpp" "src/core/CMakeFiles/agentloc_core.dir/forwarding_scheme.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/forwarding_scheme.cpp.o.d"
+  "/root/repo/src/core/hagent.cpp" "src/core/CMakeFiles/agentloc_core.dir/hagent.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/hagent.cpp.o.d"
+  "/root/repo/src/core/hash_scheme.cpp" "src/core/CMakeFiles/agentloc_core.dir/hash_scheme.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/hash_scheme.cpp.o.d"
+  "/root/repo/src/core/home_scheme.cpp" "src/core/CMakeFiles/agentloc_core.dir/home_scheme.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/home_scheme.cpp.o.d"
+  "/root/repo/src/core/iagent.cpp" "src/core/CMakeFiles/agentloc_core.dir/iagent.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/iagent.cpp.o.d"
+  "/root/repo/src/core/lhagent.cpp" "src/core/CMakeFiles/agentloc_core.dir/lhagent.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/lhagent.cpp.o.d"
+  "/root/repo/src/core/tracker_table.cpp" "src/core/CMakeFiles/agentloc_core.dir/tracker_table.cpp.o" "gcc" "src/core/CMakeFiles/agentloc_core.dir/tracker_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hashtree/CMakeFiles/agentloc_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/agentloc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agentloc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/agentloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agentloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentloc_core.dir/centralized_scheme.cpp.o"
+  "CMakeFiles/agentloc_core.dir/centralized_scheme.cpp.o.d"
+  "CMakeFiles/agentloc_core.dir/forwarding_scheme.cpp.o"
+  "CMakeFiles/agentloc_core.dir/forwarding_scheme.cpp.o.d"
+  "CMakeFiles/agentloc_core.dir/hagent.cpp.o"
+  "CMakeFiles/agentloc_core.dir/hagent.cpp.o.d"
+  "CMakeFiles/agentloc_core.dir/hash_scheme.cpp.o"
+  "CMakeFiles/agentloc_core.dir/hash_scheme.cpp.o.d"
+  "CMakeFiles/agentloc_core.dir/home_scheme.cpp.o"
+  "CMakeFiles/agentloc_core.dir/home_scheme.cpp.o.d"
+  "CMakeFiles/agentloc_core.dir/iagent.cpp.o"
+  "CMakeFiles/agentloc_core.dir/iagent.cpp.o.d"
+  "CMakeFiles/agentloc_core.dir/lhagent.cpp.o"
+  "CMakeFiles/agentloc_core.dir/lhagent.cpp.o.d"
+  "CMakeFiles/agentloc_core.dir/tracker_table.cpp.o"
+  "CMakeFiles/agentloc_core.dir/tracker_table.cpp.o.d"
+  "libagentloc_core.a"
+  "libagentloc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentloc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashtree/delta.cpp" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/delta.cpp.o" "gcc" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/delta.cpp.o.d"
+  "/root/repo/src/hashtree/paper_figures.cpp" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/paper_figures.cpp.o" "gcc" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/paper_figures.cpp.o.d"
+  "/root/repo/src/hashtree/rehash.cpp" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/rehash.cpp.o" "gcc" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/rehash.cpp.o.d"
+  "/root/repo/src/hashtree/render.cpp" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/render.cpp.o" "gcc" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/render.cpp.o.d"
+  "/root/repo/src/hashtree/serialize.cpp" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/serialize.cpp.o" "gcc" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/serialize.cpp.o.d"
+  "/root/repo/src/hashtree/tree.cpp" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/tree.cpp.o" "gcc" "src/hashtree/CMakeFiles/agentloc_hashtree.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/agentloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

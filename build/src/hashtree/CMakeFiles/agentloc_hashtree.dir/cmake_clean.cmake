@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentloc_hashtree.dir/delta.cpp.o"
+  "CMakeFiles/agentloc_hashtree.dir/delta.cpp.o.d"
+  "CMakeFiles/agentloc_hashtree.dir/paper_figures.cpp.o"
+  "CMakeFiles/agentloc_hashtree.dir/paper_figures.cpp.o.d"
+  "CMakeFiles/agentloc_hashtree.dir/rehash.cpp.o"
+  "CMakeFiles/agentloc_hashtree.dir/rehash.cpp.o.d"
+  "CMakeFiles/agentloc_hashtree.dir/render.cpp.o"
+  "CMakeFiles/agentloc_hashtree.dir/render.cpp.o.d"
+  "CMakeFiles/agentloc_hashtree.dir/serialize.cpp.o"
+  "CMakeFiles/agentloc_hashtree.dir/serialize.cpp.o.d"
+  "CMakeFiles/agentloc_hashtree.dir/tree.cpp.o"
+  "CMakeFiles/agentloc_hashtree.dir/tree.cpp.o.d"
+  "libagentloc_hashtree.a"
+  "libagentloc_hashtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentloc_hashtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

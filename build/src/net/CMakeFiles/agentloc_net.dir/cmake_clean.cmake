@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentloc_net.dir/latency.cpp.o"
+  "CMakeFiles/agentloc_net.dir/latency.cpp.o.d"
+  "CMakeFiles/agentloc_net.dir/network.cpp.o"
+  "CMakeFiles/agentloc_net.dir/network.cpp.o.d"
+  "libagentloc_net.a"
+  "libagentloc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentloc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

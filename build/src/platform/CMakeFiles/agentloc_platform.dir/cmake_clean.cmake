@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentloc_platform.dir/agent_system.cpp.o"
+  "CMakeFiles/agentloc_platform.dir/agent_system.cpp.o.d"
+  "libagentloc_platform.a"
+  "libagentloc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentloc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentloc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/agentloc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/agentloc_sim.dir/time.cpp.o"
+  "CMakeFiles/agentloc_sim.dir/time.cpp.o.d"
+  "CMakeFiles/agentloc_sim.dir/timer.cpp.o"
+  "CMakeFiles/agentloc_sim.dir/timer.cpp.o.d"
+  "libagentloc_sim.a"
+  "libagentloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

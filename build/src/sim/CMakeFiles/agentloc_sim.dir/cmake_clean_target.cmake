@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagentloc_sim.a"
+)

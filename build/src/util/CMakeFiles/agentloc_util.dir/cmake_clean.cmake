@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentloc_util.dir/bitstring.cpp.o"
+  "CMakeFiles/agentloc_util.dir/bitstring.cpp.o.d"
+  "CMakeFiles/agentloc_util.dir/bytebuffer.cpp.o"
+  "CMakeFiles/agentloc_util.dir/bytebuffer.cpp.o.d"
+  "CMakeFiles/agentloc_util.dir/flags.cpp.o"
+  "CMakeFiles/agentloc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/agentloc_util.dir/logging.cpp.o"
+  "CMakeFiles/agentloc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/agentloc_util.dir/rng.cpp.o"
+  "CMakeFiles/agentloc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/agentloc_util.dir/summary.cpp.o"
+  "CMakeFiles/agentloc_util.dir/summary.cpp.o.d"
+  "libagentloc_util.a"
+  "libagentloc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentloc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

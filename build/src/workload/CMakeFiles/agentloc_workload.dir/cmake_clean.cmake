@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentloc_workload.dir/experiment.cpp.o"
+  "CMakeFiles/agentloc_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/agentloc_workload.dir/querier.cpp.o"
+  "CMakeFiles/agentloc_workload.dir/querier.cpp.o.d"
+  "CMakeFiles/agentloc_workload.dir/report.cpp.o"
+  "CMakeFiles/agentloc_workload.dir/report.cpp.o.d"
+  "CMakeFiles/agentloc_workload.dir/tagent.cpp.o"
+  "CMakeFiles/agentloc_workload.dir/tagent.cpp.o.d"
+  "CMakeFiles/agentloc_workload.dir/trace.cpp.o"
+  "CMakeFiles/agentloc_workload.dir/trace.cpp.o.d"
+  "libagentloc_workload.a"
+  "libagentloc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentloc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

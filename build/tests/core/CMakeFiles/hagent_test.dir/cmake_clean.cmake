@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hagent_test.dir/hagent_test.cpp.o"
+  "CMakeFiles/hagent_test.dir/hagent_test.cpp.o.d"
+  "hagent_test"
+  "hagent_test.pdb"
+  "hagent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hagent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iagent_test.dir/iagent_test.cpp.o"
+  "CMakeFiles/iagent_test.dir/iagent_test.cpp.o.d"
+  "iagent_test"
+  "iagent_test.pdb"
+  "iagent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iagent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

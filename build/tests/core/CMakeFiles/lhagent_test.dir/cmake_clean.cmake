@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhagent_test.dir/lhagent_test.cpp.o"
+  "CMakeFiles/lhagent_test.dir/lhagent_test.cpp.o.d"
+  "lhagent_test"
+  "lhagent_test.pdb"
+  "lhagent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhagent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

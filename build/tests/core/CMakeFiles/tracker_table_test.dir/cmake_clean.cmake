@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracker_table_test.dir/tracker_table_test.cpp.o"
+  "CMakeFiles/tracker_table_test.dir/tracker_table_test.cpp.o.d"
+  "tracker_table_test"
+  "tracker_table_test.pdb"
+  "tracker_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracker_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

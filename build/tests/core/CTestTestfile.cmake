@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/tracker_table_test[1]_include.cmake")
+include("/root/repo/build/tests/core/iagent_test[1]_include.cmake")
+include("/root/repo/build/tests/core/hagent_test[1]_include.cmake")
+include("/root/repo/build/tests/core/lhagent_test[1]_include.cmake")
+include("/root/repo/build/tests/core/scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/core/failover_test[1]_include.cmake")
+include("/root/repo/build/tests/core/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/core/forwarding_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtree_property_test.dir/property_test.cpp.o"
+  "CMakeFiles/hashtree_property_test.dir/property_test.cpp.o.d"
+  "hashtree_property_test"
+  "hashtree_property_test.pdb"
+  "hashtree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rehash_test.dir/rehash_test.cpp.o"
+  "CMakeFiles/rehash_test.dir/rehash_test.cpp.o.d"
+  "rehash_test"
+  "rehash_test.pdb"
+  "rehash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rehash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

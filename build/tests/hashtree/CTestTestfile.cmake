@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hashtree
+# Build directory: /root/repo/build/tests/hashtree
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hashtree/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/hashtree/rehash_test[1]_include.cmake")
+include("/root/repo/build/tests/hashtree/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/hashtree/hashtree_property_test[1]_include.cmake")
+include("/root/repo/build/tests/hashtree/delta_test[1]_include.cmake")
+include("/root/repo/build/tests/hashtree/stats_property_test[1]_include.cmake")

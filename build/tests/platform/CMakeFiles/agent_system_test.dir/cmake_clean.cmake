@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_system_test.dir/agent_system_test.cpp.o"
+  "CMakeFiles/agent_system_test.dir/agent_system_test.cpp.o.d"
+  "agent_system_test"
+  "agent_system_test.pdb"
+  "agent_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/platform_property_test.cpp" "tests/platform/CMakeFiles/platform_property_test.dir/platform_property_test.cpp.o" "gcc" "tests/platform/CMakeFiles/platform_property_test.dir/platform_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/agentloc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agentloc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/agentloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agentloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bytebuffer_test.dir/bytebuffer_test.cpp.o"
+  "CMakeFiles/bytebuffer_test.dir/bytebuffer_test.cpp.o.d"
+  "bytebuffer_test"
+  "bytebuffer_test.pdb"
+  "bytebuffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bytebuffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

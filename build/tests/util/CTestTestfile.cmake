@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util/bitstring_test[1]_include.cmake")
+include("/root/repo/build/tests/util/bytebuffer_test[1]_include.cmake")
+include("/root/repo/build/tests/util/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/util/logging_test[1]_include.cmake")
+include("/root/repo/build/tests/util/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util/summary_test[1]_include.cmake")

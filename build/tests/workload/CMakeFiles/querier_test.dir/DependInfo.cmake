@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/querier_test.cpp" "tests/workload/CMakeFiles/querier_test.dir/querier_test.cpp.o" "gcc" "tests/workload/CMakeFiles/querier_test.dir/querier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/agentloc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agentloc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashtree/CMakeFiles/agentloc_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/agentloc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/agentloc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/agentloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/agentloc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querier_test.dir/querier_test.cpp.o"
+  "CMakeFiles/querier_test.dir/querier_test.cpp.o.d"
+  "querier_test"
+  "querier_test.pdb"
+  "querier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagent_test.dir/tagent_test.cpp.o"
+  "CMakeFiles/tagent_test.dir/tagent_test.cpp.o.d"
+  "tagent_test"
+  "tagent_test.pdb"
+  "tagent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
