@@ -9,12 +9,17 @@
 //
 // Flags: --agents=10,20,30,50,100 --queries=2000 --repeats=2 --nodes=16
 //        --residence-ms=500 --seed=1 --schemes=centralized,hash
+//        --threads=0 (0 = one worker per hardware thread)
+//        --json-out=BENCH_experiment1.json
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/experiment.hpp"
 #include "workload/report.hpp"
 
@@ -31,6 +36,10 @@ int main(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 16));
   const double residence_ms = flags.get_double("residence-ms", 500.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  std::size_t threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  if (threads == 0) threads = util::ThreadPool::default_threads();
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_experiment1.json");
   const std::string schemes_flag =
       flags.get_string("schemes", "centralized,hash");
 
@@ -52,6 +61,10 @@ int main(int argc, char** argv) {
                          "trackers", "found", "failed", "stale retries"});
   std::vector<std::pair<std::string, double>> series;
 
+  util::BenchReport report("experiment1");
+  std::uint64_t total_events = 0;
+  double total_wall = 0.0;
+
   for (const std::string& scheme : schemes) {
     for (const std::int64_t count : agent_counts) {
       ExperimentConfig config;
@@ -61,7 +74,15 @@ int main(int argc, char** argv) {
       config.residence = sim::SimTime::millis(residence_ms);
       config.total_queries = queries;
       config.seed = seed;
-      const ExperimentResult result = workload::run_repeated(config, repeats);
+      const auto start = std::chrono::steady_clock::now();
+      const ExperimentResult result =
+          workload::run_parallel(config, repeats, threads);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      total_events += result.events_executed;
+      total_wall += wall;
 
       table.add_row({scheme, std::to_string(count),
                      workload::fmt(result.location_ms.mean()),
@@ -72,6 +93,18 @@ int main(int argc, char** argv) {
                      workload::fmt_count(result.scheme_stats.stale_retries)});
       series.emplace_back(scheme + " n=" + std::to_string(count),
                           result.location_ms.mean());
+      report.add_row()
+          .set("scheme", scheme)
+          .set("tagents", static_cast<std::int64_t>(count))
+          .set("wall_seconds", wall)
+          .set("events", result.events_executed)
+          .set("events_per_sec",
+               wall > 0 ? static_cast<double>(result.events_executed) / wall
+                        : 0.0)
+          .set("queries_found", result.queries_found)
+          .set("queries_failed", result.queries_failed)
+          .set("trackers", static_cast<std::uint64_t>(result.trackers_at_end))
+          .add_summary("location_ms", result.location_ms);
       std::fflush(stdout);
     }
   }
@@ -82,5 +115,22 @@ int main(int argc, char** argv) {
   std::printf(
       "Expected shape (paper): centralized grows with the number of "
       "TAgents;\nthe hash mechanism stays almost constant.\n");
+
+  report.meta()
+      .set("repeats", static_cast<std::uint64_t>(repeats))
+      .set("threads", static_cast<std::uint64_t>(threads))
+      .set("queries", static_cast<std::uint64_t>(queries))
+      .set("nodes", static_cast<std::uint64_t>(nodes))
+      .set("wall_seconds", total_wall)
+      .set("events", total_events)
+      .set("events_per_sec",
+           total_wall > 0 ? static_cast<double>(total_events) / total_wall
+                          : 0.0);
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

@@ -9,12 +9,17 @@
 //
 // Flags: --residences-ms=100,200,500,1000,2000 --tagents=20 --queries=2000
 //        --repeats=2 --nodes=16 --seed=1 --schemes=centralized,hash
+//        --threads=0 (0 = one worker per hardware thread)
+//        --json-out=BENCH_experiment2.json
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/experiment.hpp"
 #include "workload/report.hpp"
 
@@ -31,6 +36,10 @@ int main(int argc, char** argv) {
   const auto repeats = static_cast<std::size_t>(flags.get_int("repeats", 2));
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 16));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  std::size_t threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  if (threads == 0) threads = util::ThreadPool::default_threads();
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_experiment2.json");
   const std::string schemes_flag =
       flags.get_string("schemes", "centralized,hash");
 
@@ -53,6 +62,10 @@ int main(int argc, char** argv) {
                          "updates/s"});
   std::vector<std::pair<std::string, double>> series;
 
+  util::BenchReport report("experiment2");
+  std::uint64_t total_events = 0;
+  double total_wall = 0.0;
+
   for (const std::string& scheme : schemes) {
     for (const std::int64_t residence : residences) {
       ExperimentConfig config;
@@ -62,7 +75,15 @@ int main(int argc, char** argv) {
       config.residence = sim::SimTime::millis(static_cast<double>(residence));
       config.total_queries = queries;
       config.seed = seed;
-      const ExperimentResult result = workload::run_repeated(config, repeats);
+      const auto start = std::chrono::steady_clock::now();
+      const ExperimentResult result =
+          workload::run_parallel(config, repeats, threads);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      total_events += result.events_executed;
+      total_wall += wall;
 
       const double update_rate =
           result.sim_seconds > 0
@@ -78,6 +99,18 @@ int main(int argc, char** argv) {
                      workload::fmt(update_rate, 1)});
       series.emplace_back(scheme + " r=" + std::to_string(residence),
                           result.location_ms.mean());
+      report.add_row()
+          .set("scheme", scheme)
+          .set("residence_ms", static_cast<std::int64_t>(residence))
+          .set("wall_seconds", wall)
+          .set("events", result.events_executed)
+          .set("events_per_sec",
+               wall > 0 ? static_cast<double>(result.events_executed) / wall
+                        : 0.0)
+          .set("updates_per_sec", update_rate)
+          .set("queries_found", result.queries_found)
+          .set("queries_failed", result.queries_failed)
+          .add_summary("location_ms", result.location_ms);
       std::fflush(stdout);
     }
   }
@@ -89,5 +122,23 @@ int main(int argc, char** argv) {
       "Expected shape (paper): centralized degrades as residence time "
       "shrinks\n(faster movement -> more updates); the hash mechanism stays "
       "almost constant.\n");
+
+  report.meta()
+      .set("repeats", static_cast<std::uint64_t>(repeats))
+      .set("threads", static_cast<std::uint64_t>(threads))
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("queries", static_cast<std::uint64_t>(queries))
+      .set("nodes", static_cast<std::uint64_t>(nodes))
+      .set("wall_seconds", total_wall)
+      .set("events", total_events)
+      .set("events_per_sec",
+           total_wall > 0 ? static_cast<double>(total_events) / total_wall
+                          : 0.0);
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "hashtree/tree.hpp"
+#include "util/bench_report.hpp"
 #include "util/bytebuffer.hpp"
 #include "util/rng.hpp"
 
@@ -108,4 +110,7 @@ BENCHMARK(BM_PredicateMatch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::BenchReport report("hashtree_micro");
+  return benchjson::run_and_write(argc, argv, report);
+}

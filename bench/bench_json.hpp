@@ -1,0 +1,69 @@
+// Shared glue between google-benchmark binaries and the repo's JSON bench
+// trajectory (BENCH_<name>.json, written via util::BenchReport). The
+// experiment-style benches build their reports by hand; microbenches built
+// on google-benchmark funnel every run through this reporter instead.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/bench_report.hpp"
+
+namespace agentloc::benchjson {
+
+/// ConsoleReporter that additionally captures each benchmark run as a row
+/// in a BenchReport, so the human-readable table and the machine-readable
+/// trajectory come from the same numbers.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(util::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      util::BenchReport::Row& row = report_.add_row();
+      row.set("name", run.benchmark_name());
+      row.set("iterations", static_cast<std::int64_t>(run.iterations));
+      row.set("real_ns_per_iter", run.GetAdjustedRealTime());
+      row.set("cpu_ns_per_iter", run.GetAdjustedCPUTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row.set("items_per_second", static_cast<double>(items->second));
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        row.set("bytes_per_second", static_cast<double>(bytes->second));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  util::BenchReport& report_;
+};
+
+/// Standard main() body for a JSON-reporting microbench: run the registered
+/// benchmarks, print the usual console table, then write `BENCH_<name>.json`
+/// into the current working directory. The caller may pre-populate
+/// `report.meta()` with bench-specific headline numbers.
+inline int run_and_write(int argc, char** argv, util::BenchReport& report) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "failed to write %s\n",
+                 report.default_path().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace agentloc::benchjson

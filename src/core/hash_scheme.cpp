@@ -11,7 +11,8 @@ HashLocationScheme::HashLocationScheme(platform::AgentSystem& system,
                                        net::NodeId hagent_node)
     : system_(system), config_(config) {
   hagent_ = &system_.create<HAgent>(hagent_node, config_);
-  const platform::AgentAddress hagent_address{hagent_node, hagent_->id()};
+  hagent_id_ = hagent_->id();
+  const platform::AgentAddress hagent_address{hagent_node, hagent_id_};
   std::vector<platform::AgentAddress> coordinators{hagent_address};
 
   if (config_.hagent_replication) {

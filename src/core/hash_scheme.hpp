@@ -47,7 +47,7 @@ class HashLocationScheme : public LocationScheme {
               std::function<void(const LocateOutcome&)> done) override;
 
   std::size_t tracker_count() const override {
-    if (!system_.exists(hagent_->id()) && backup_ != nullptr) {
+    if (!system_.exists(hagent_id_) && backup_ != nullptr) {
       return backup_->iagent_count();
     }
     return hagent_->iagent_count();
@@ -72,7 +72,7 @@ class HashLocationScheme : public LocationScheme {
   /// the primary role; with replication enabled, `backup_hagent()` is the
   /// standby.
   HAgent& hagent() noexcept {
-    if (!system_.exists(hagent_->id()) && backup_ != nullptr) return *backup_;
+    if (!system_.exists(hagent_id_) && backup_ != nullptr) return *backup_;
     return *hagent_;
   }
   HAgent* backup_hagent() noexcept { return backup_; }
@@ -112,6 +112,9 @@ class HashLocationScheme : public LocationScheme {
   platform::AgentSystem& system_;
   MechanismConfig config_;
   HAgent* hagent_ = nullptr;
+  // The primary's id, cached so liveness checks never touch `*hagent_`,
+  // which dangles once the primary is disposed (e.g. in failover tests).
+  platform::AgentId hagent_id_ = platform::kNoAgent;
   HAgent* backup_ = nullptr;
   std::vector<LHAgent*> lhagents_;
   std::unordered_map<platform::AgentId, std::uint64_t> seqs_;

@@ -1,17 +1,18 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/inline_function.hpp"
 
 namespace agentloc::sim {
 
 /// Handle to a scheduled event; lets the owner cancel it.
+///
+/// Packs a slab slot index (low 32 bits) and that slot's generation at
+/// scheduling time (high 32 bits). Generations start at 1, so a valid id is
+/// never 0 and `kInvalidEvent` can stay the all-zero sentinel.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -23,11 +24,18 @@ inline constexpr EventId kInvalidEvent = 0;
 /// ties), which is what makes whole experiments deterministic for a given
 /// seed.
 ///
-/// The simulator is deliberately minimal: no threads, no real time. A full
-/// Experiment-I sweep executes millions of events in well under a second.
+/// Internally events live in a slab of pooled records: scheduling reuses a
+/// free slot (no per-event allocation once the pool is warm — handlers small
+/// enough for the inline buffer never touch the heap at all), and `cancel`
+/// is an O(1) generation bump that invalidates the heap entry lazily. Run
+/// many simulators on different threads for parallel sweeps; a single
+/// instance is strictly single-threaded.
 class Simulator {
  public:
-  using Handler = std::function<void()>;
+  /// Handler storage is small-buffer-optimized: captures up to 48 bytes
+  /// (e.g. the network's delivery closure) are stored inline in the event
+  /// record; larger ones fall back to one heap allocation.
+  using Handler = util::InlineFunction<void(), 48>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -43,8 +51,9 @@ class Simulator {
   /// Schedule `handler` to run `delay` from now.
   EventId schedule_after(SimTime delay, Handler handler);
 
-  /// Cancel a pending event. Returns false when the event already ran,
-  /// was cancelled before, or never existed.
+  /// Cancel a pending event, destroying its handler (and therefore releasing
+  /// any captured resources) immediately. Returns false when the event
+  /// already ran, was cancelled before, or never existed.
   bool cancel(EventId id);
 
   /// Run until the queue drains or `deadline` passes. Events scheduled
@@ -61,33 +70,77 @@ class Simulator {
   /// Ask `run_until`/`run` to return after the current event completes.
   void request_stop() noexcept { stop_requested_ = true; }
 
-  bool empty() const noexcept { return queue_.size() == cancelled_.size(); }
-  std::size_t pending() const noexcept {
-    return queue_.size() - cancelled_.size();
-  }
+  /// Capacity hint: pre-size the event pool and heap for `events` concurrent
+  /// pending events so a steady-state run never regrows them mid-flight.
+  void reserve(std::size_t events);
+
+  bool empty() const noexcept { return live_ == 0; }
+  std::size_t pending() const noexcept { return live_; }
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// High-water mark of the event pool (diagnostics; pairs with `reserve`).
+  std::size_t pool_size() const noexcept { return records_.size(); }
+
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNoFreeSlot = UINT32_MAX;
+
+  /// One pooled event. A slot's generation is bumped whenever the event it
+  /// held is cancelled or executed, so stale `EventId`s and stale heap
+  /// entries referring to an earlier occupant are detected in O(1).
+  struct Record {
+    Handler handler;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoFreeSlot;
+    bool armed = false;
+  };
+
+  /// Heap entries are plain 24-byte values ordered min-first by
+  /// (when, seq): later-scheduled same-time events run after earlier ones.
+  struct HeapEntry {
     SimTime when;
-    EventId id;
-    // Ordered min-first by (when, id): later-scheduled same-time events run
-    // after earlier ones.
-    bool operator>(const Entry& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return id > other.id;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+  struct EntryAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  /// Return the slot to the free list and invalidate outstanding ids.
+  void release_slot(std::uint32_t slot, Record& record) noexcept;
+
+  /// Pop heap entries whose slot was cancelled/reused since they were
+  /// pushed, leaving a live event (or an empty heap) on top.
+  void drop_stale_top();
+
+  /// When cancelled entries outnumber live ones, sweep them out and
+  /// re-heapify. Amortized O(1) per cancel; keeps the heap depth set by the
+  /// *live* event count even when cancelled timeouts vastly outnumber it.
+  void maybe_compact();
+
+  void pop_top();
+
+  /// Pop and run the heap top; the caller guarantees it is live.
+  void execute_top();
+
   SimTime now_ = SimTime::zero();
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Handlers are kept out of the heap entries so cancellation can release
-  // captured resources immediately.
-  std::unordered_map<EventId, Handler> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<Record> records_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::vector<HeapEntry> heap_;
+  // Exact count of heap entries orphaned by cancel() (execution pops its
+  // entry eagerly, so cancellation is the only source of stale entries).
+  std::size_t stale_in_heap_ = 0;
 };
 
 }  // namespace agentloc::sim

@@ -1,0 +1,146 @@
+#include "util/bench_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace agentloc::util {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number_to_json(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/inf
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key, double value) {
+  fields_.push_back(Field{key, Kind::kNumber, value, 0, {}});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        std::int64_t value) {
+  fields_.push_back(Field{key, Kind::kInteger, 0, value, {}});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        std::uint64_t value) {
+  return set(key, static_cast<std::int64_t>(value));
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        const std::string& value) {
+  fields_.push_back(Field{key, Kind::kString, 0, 0, value});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        const char* value) {
+  return set(key, std::string(value));
+}
+
+BenchReport::Row& BenchReport::Row::add_summary(const std::string& prefix,
+                                                const Summary& summary) {
+  set(prefix + "_count", static_cast<std::uint64_t>(summary.count()));
+  if (!summary.empty()) {
+    set(prefix + "_mean", summary.mean());
+    set(prefix + "_p50", summary.percentile(50));
+    set(prefix + "_p95", summary.percentile(95));
+    set(prefix + "_max", summary.max());
+  }
+  return *this;
+}
+
+std::string BenchReport::Row::json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Field& field : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + escape(field.key) + "\": ";
+    switch (field.kind) {
+      case Kind::kNumber:
+        out += number_to_json(field.number);
+        break;
+      case Kind::kInteger:
+        out += std::to_string(field.integer);
+        break;
+      case Kind::kString:
+        out += "\"" + escape(field.text) + "\"";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+BenchReport::Row& BenchReport::add_row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string BenchReport::json() const {
+  std::string out = "{\n  \"bench\": \"" + escape(name_) + "\"";
+  const std::string meta = meta_.json();
+  if (meta.size() > 2) {  // strip the braces, splice fields at top level
+    out += ",\n  " + meta.substr(1, meta.size() - 2);
+  }
+  out += ",\n  \"rows\": [";
+  bool first = true;
+  for (const Row& row : rows_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += row.json();
+  }
+  out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string BenchReport::write(const std::string& path) const {
+  const std::string target = path.empty() ? default_path() : path;
+  std::ofstream out(target);
+  if (!out) return "";
+  out << json();
+  out.flush();
+  return out ? target : "";
+}
+
+}  // namespace agentloc::util

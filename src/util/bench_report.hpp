@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/summary.hpp"
+
+namespace agentloc::util {
+
+/// Machine-readable bench output: the perf trajectory every bench binary
+/// commits as `BENCH_<name>.json` so wins (and regressions) across PRs are
+/// measurable instead of anecdotal.
+///
+/// The shape is deliberately flat — a handful of top-level fields plus an
+/// array of row objects, scalars only — so diffs stay readable and any JSON
+/// consumer can load it without a schema:
+///
+/// ```json
+/// {
+///   "bench": "experiment1",
+///   "wall_seconds": 0.35,
+///   "rows": [
+///     {"scheme": "hash", "tagents": 10, "events_per_sec": 3.1e6, ...}
+///   ]
+/// }
+/// ```
+class BenchReport {
+ public:
+  /// One flat JSON object: ordered key → scalar.
+  class Row {
+   public:
+    Row& set(const std::string& key, double value);
+    Row& set(const std::string& key, std::int64_t value);
+    Row& set(const std::string& key, std::uint64_t value);
+    Row& set(const std::string& key, const std::string& value);
+    Row& set(const std::string& key, const char* value);
+
+    /// Spread a Summary into `<prefix>_{count,mean,p50,p95,max}` fields —
+    /// the location-time digest the experiments report.
+    Row& add_summary(const std::string& prefix, const Summary& summary);
+
+    std::string json() const;
+
+   private:
+    enum class Kind { kNumber, kInteger, kString };
+    struct Field {
+      std::string key;
+      Kind kind;
+      double number;
+      std::int64_t integer;
+      std::string text;
+    };
+    std::vector<Field> fields_;
+  };
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Top-level metadata/aggregate fields (same scalar types as rows).
+  Row& meta() noexcept { return meta_; }
+
+  /// Append and return a data row.
+  Row& add_row();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Full document as pretty-printed JSON.
+  std::string json() const;
+
+  /// `BENCH_<name>.json` in the current working directory.
+  std::string default_path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Write the document to `path` (or `default_path()` when empty).
+  /// Returns the path written, empty string on I/O failure.
+  std::string write(const std::string& path = "") const;
+
+ private:
+  std::string name_;
+  Row meta_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace agentloc::util

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace agentloc::util {
+
+/// Move-only type-erased callable with small-buffer optimization.
+///
+/// `std::function` heap-allocates any capture larger than ~16 bytes, which
+/// made every message delivery in the simulator hot loop an allocation. This
+/// type stores callables up to `Capacity` bytes inline (larger ones fall back
+/// to the heap) so the common scheduling path allocates nothing. It is
+/// move-only — the simulator's event pool never copies handlers — which also
+/// lets it hold move-only captures (`std::unique_ptr`, etc.) that
+/// `std::function` rejects outright.
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  /// Wrap any callable. Stored inline when it fits (size, alignment, and a
+  /// noexcept move constructor — relocation must not throw); heap otherwise.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(runtime/explicit)
+    if constexpr (stored_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroy the held callable (releasing its captures) and become empty.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (!vtable_->trivial) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(vtable_ != nullptr && "calling an empty InlineFunction");
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// Whether a callable of type `F` would be stored without heap allocation.
+  template <typename F>
+  static constexpr bool stored_inline() noexcept {
+    return sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move the callable from `src` storage into `dst` storage and destroy
+    // the source; never throws (inline storage requires a noexcept move).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    // Trivially-copyable inline callables move by memcpy and need no
+    // destructor call — the hot path for the simulator's event pool.
+    bool trivial;
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static R invoke(void* storage, Args&&... args) {
+      return (*static_cast<F*>(storage))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      F* from = static_cast<F*>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* storage) noexcept {
+      static_cast<F*>(storage)->~F();
+    }
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& slot(void* storage) noexcept {
+      return *static_cast<F**>(storage);
+    }
+    static R invoke(void* storage, Args&&... args) {
+      return (*slot(storage))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F*(slot(src));  // steal the pointer; nothing to destroy
+    }
+    static void destroy(void* storage) noexcept { delete slot(storage); }
+  };
+
+  template <typename F>
+  static constexpr VTable kInlineVTable{
+      &InlineOps<F>::invoke, &InlineOps<F>::relocate, &InlineOps<F>::destroy,
+      std::is_trivially_copyable_v<F> && std::is_trivially_destructible_v<F>};
+  template <typename F>
+  static constexpr VTable kHeapVTable{&HeapOps<F>::invoke,
+                                      &HeapOps<F>::relocate,
+                                      &HeapOps<F>::destroy, false};
+
+  void take(InlineFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      if (other.vtable_->trivial) {
+        std::memcpy(storage_, other.storage_, Capacity);
+      } else {
+        other.vtable_->relocate(storage_, other.storage_);
+      }
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  static_assert(Capacity >= sizeof(void*),
+                "capacity must at least hold the heap fallback pointer");
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace agentloc::util

@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace agentloc::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::default_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_available_.wait(
+        lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutting down and drained
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+
+  // First exception wins; remaining indices still run — on both paths — so
+  // results for other indices stay usable by the caller's catch and the
+  // pool drains cleanly.
+  if (threads <= 1 || count == 1) {
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  ThreadPool pool(threads < count ? threads : count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      try {
+        body(i);
+      } catch (...) {
+        if (!failed.exchange(true)) {
+          std::lock_guard lock(error_mutex);
+          first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace agentloc::util

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agentloc::util {
+
+/// Fixed-size worker pool for replication-level parallelism.
+///
+/// The simulator itself stays strictly single-threaded; the pool exists one
+/// level up, where an experiment sweep runs many independent replications
+/// (each owning its private `Simulator`/`Network`/`AgentSystem`). Tasks are
+/// plain closures drained FIFO by `threads` workers.
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; wrap fallible work in try/catch
+  /// (see `parallel_for` for the canonical pattern).
+  void submit(Task task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  /// `std::thread::hardware_concurrency()`, or 1 when that reports 0.
+  static std::size_t default_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Task> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run `body(0) … body(count-1)` across up to `threads` workers and return
+/// once all calls finished. With `threads <= 1` (or fewer than two items) the
+/// calls run inline on the caller's thread — the sequential and parallel
+/// paths execute the exact same bodies, just on different threads. The first
+/// exception thrown by any body is rethrown on the caller after all indices
+/// complete.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace agentloc::util

@@ -1,6 +1,7 @@
 #include "workload/experiment.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "core/centralized_scheme.hpp"
 #include "core/forwarding_scheme.hpp"
@@ -9,6 +10,8 @@
 #include "platform/agent_system.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/querier.hpp"
 #include "workload/tagent.hpp"
 
@@ -39,6 +42,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   util::Rng master(config.seed);
 
   sim::Simulator simulator;
+  // Pool-size hint: the peak number of *concurrent* pending events is set by
+  // in-flight messages and per-agent timers, all proportional to the
+  // population; pre-sizing keeps the steady-state sweep from regrowing the
+  // event pool or heap mid-run.
+  simulator.reserve(config.tagents * 16 + config.queriers * 16 +
+                    config.nodes * 8 + 256);
   net::Network network(simulator, config.nodes, net::make_default_lan_model(),
                        master.fork());
   network.faults().drop_probability = config.drop_probability;
@@ -123,64 +132,97 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   return result;
 }
 
-ExperimentResult run_repeated(ExperimentConfig config, std::size_t repeats) {
+std::uint64_t replication_seed(std::uint64_t base_seed, std::size_t r) {
+  // Derive from the caller's base seed only — not from a compounding chain —
+  // so replication r's stream is the same no matter which other replications
+  // ran (or on which thread). The odd constant keeps distinct r values far
+  // apart before mixing.
+  return util::mix64(base_seed + r * 0x9e3779b97f4a7c15ull);
+}
+
+namespace {
+
+/// Merge one replication into the accumulated result. Counters accumulate
+/// across repeats so rates computed against the accumulated sim_seconds
+/// stay correct.
+void merge_replication(ExperimentResult& merged, const ExperimentResult& one) {
+  merged.location_ms.merge(one.location_ms);
+  merged.attempts.merge(one.attempts);
+  merged.queries_found += one.queries_found;
+  merged.queries_failed += one.queries_failed;
+  merged.wrong_location += one.wrong_location;
+  merged.tagent_moves += one.tagent_moves;
+  merged.trackers_at_end = one.trackers_at_end;
+
+  core::SchemeStats& scheme = merged.scheme_stats;
+  const core::SchemeStats& inc = one.scheme_stats;
+  scheme.registers += inc.registers;
+  scheme.updates += inc.updates;
+  scheme.deregisters += inc.deregisters;
+  scheme.locates += inc.locates;
+  scheme.locates_found += inc.locates_found;
+  scheme.locates_failed += inc.locates_failed;
+  scheme.stale_retries += inc.stale_retries;
+  scheme.transient_retries += inc.transient_retries;
+  scheme.delivery_retries += inc.delivery_retries;
+  scheme.timeout_retries += inc.timeout_retries;
+  scheme.refreshes_triggered += inc.refreshes_triggered;
+
+  merged.network_stats.messages_sent += one.network_stats.messages_sent;
+  merged.network_stats.messages_delivered +=
+      one.network_stats.messages_delivered;
+  merged.network_stats.messages_dropped += one.network_stats.messages_dropped;
+  merged.network_stats.messages_duplicated +=
+      one.network_stats.messages_duplicated;
+  merged.network_stats.bytes_sent += one.network_stats.bytes_sent;
+
+  merged.platform_stats.agents_created += one.platform_stats.agents_created;
+  merged.platform_stats.agents_disposed += one.platform_stats.agents_disposed;
+  merged.platform_stats.migrations_started +=
+      one.platform_stats.migrations_started;
+  merged.platform_stats.migrations_completed +=
+      one.platform_stats.migrations_completed;
+  merged.platform_stats.messages_sent += one.platform_stats.messages_sent;
+  merged.platform_stats.messages_processed +=
+      one.platform_stats.messages_processed;
+  merged.platform_stats.messages_bounced +=
+      one.platform_stats.messages_bounced;
+  merged.platform_stats.rpc_timeouts += one.platform_stats.rpc_timeouts;
+
+  merged.sim_seconds += one.sim_seconds;
+  merged.events_executed += one.events_executed;
+}
+
+}  // namespace
+
+ExperimentResult run_parallel(const ExperimentConfig& config,
+                              std::size_t repeats, std::size_t threads) {
+  // Each replication is fully independent: its own seed, its own private
+  // Simulator/Network/AgentSystem built inside run_experiment.
+  std::vector<ExperimentResult> results(repeats);
+  util::parallel_for(repeats, threads, [&](std::size_t r) {
+    ExperimentConfig replica = config;
+    replica.seed = replication_seed(config.seed, r);
+    results[r] = run_experiment(replica);
+  });
+
+  // Merge strictly in replication order so the output is bit-identical to
+  // the sequential path regardless of completion order.
   ExperimentResult merged;
-  for (std::size_t r = 0; r < repeats; ++r) {
-    config.seed = util::mix64(config.seed + r * 0x9e37);
-    ExperimentResult one = run_experiment(config);
-    merged.location_ms.merge(one.location_ms);
-    merged.attempts.merge(one.attempts);
-    merged.queries_found += one.queries_found;
-    merged.queries_failed += one.queries_failed;
-    merged.wrong_location += one.wrong_location;
-    merged.tagent_moves += one.tagent_moves;
-    merged.trackers_at_end = one.trackers_at_end;
-
-    // Counters accumulate across repeats so rates computed against the
-    // accumulated sim_seconds stay correct.
-    const auto add_scheme = [](core::SchemeStats& acc,
-                               const core::SchemeStats& inc) {
-      acc.registers += inc.registers;
-      acc.updates += inc.updates;
-      acc.deregisters += inc.deregisters;
-      acc.locates += inc.locates;
-      acc.locates_found += inc.locates_found;
-      acc.locates_failed += inc.locates_failed;
-      acc.stale_retries += inc.stale_retries;
-      acc.transient_retries += inc.transient_retries;
-      acc.delivery_retries += inc.delivery_retries;
-      acc.timeout_retries += inc.timeout_retries;
-      acc.refreshes_triggered += inc.refreshes_triggered;
-    };
-    add_scheme(merged.scheme_stats, one.scheme_stats);
-
-    merged.network_stats.messages_sent += one.network_stats.messages_sent;
-    merged.network_stats.messages_delivered +=
-        one.network_stats.messages_delivered;
-    merged.network_stats.messages_dropped +=
-        one.network_stats.messages_dropped;
-    merged.network_stats.messages_duplicated +=
-        one.network_stats.messages_duplicated;
-    merged.network_stats.bytes_sent += one.network_stats.bytes_sent;
-
-    merged.platform_stats.agents_created += one.platform_stats.agents_created;
-    merged.platform_stats.agents_disposed +=
-        one.platform_stats.agents_disposed;
-    merged.platform_stats.migrations_started +=
-        one.platform_stats.migrations_started;
-    merged.platform_stats.migrations_completed +=
-        one.platform_stats.migrations_completed;
-    merged.platform_stats.messages_sent += one.platform_stats.messages_sent;
-    merged.platform_stats.messages_processed +=
-        one.platform_stats.messages_processed;
-    merged.platform_stats.messages_bounced +=
-        one.platform_stats.messages_bounced;
-    merged.platform_stats.rpc_timeouts += one.platform_stats.rpc_timeouts;
-
-    merged.sim_seconds += one.sim_seconds;
-    merged.events_executed += one.events_executed;
-  }
+  for (const ExperimentResult& one : results) merge_replication(merged, one);
   return merged;
+}
+
+ExperimentResult run_repeated(const ExperimentConfig& config,
+                              std::size_t repeats) {
+  // Host callbacks and trace files are not promised thread-safe; run those
+  // configs sequentially. Results are identical either way.
+  const bool host_hooks = static_cast<bool>(config.sampler) ||
+                          static_cast<bool>(config.on_finish) ||
+                          !config.trace_csv_path.empty();
+  const std::size_t threads =
+      host_hooks ? 1 : util::ThreadPool::default_threads();
+  return run_parallel(config, repeats, threads);
 }
 
 }  // namespace agentloc::workload

@@ -93,7 +93,25 @@ std::unique_ptr<core::LocationScheme> make_scheme(
 /// Run one experiment to completion and collect the result.
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
-/// Run `repeats` seeds and merge the per-query samples.
-ExperimentResult run_repeated(ExperimentConfig config, std::size_t repeats);
+/// Seed for replication `r` of a sweep with base seed `base_seed`. Each
+/// replication's seed depends only on (base_seed, r) — never on how many
+/// replications ran before it — so any subset of replications can be
+/// re-run, reordered, or farmed out to threads and still replay
+/// bit-identically.
+std::uint64_t replication_seed(std::uint64_t base_seed, std::size_t r);
+
+/// Run `repeats` seeds and merge the per-query samples in replication
+/// order. Replications run on a thread pool sized to the hardware (each one
+/// owns its private Simulator/Network/AgentSystem); the merged result is
+/// bit-identical to the sequential path. Falls back to sequential when the
+/// config carries host callbacks (sampler/on_finish) or a trace path, which
+/// the harness does not promise to invoke thread-safely.
+ExperimentResult run_repeated(const ExperimentConfig& config,
+                              std::size_t repeats);
+
+/// Same as `run_repeated` but with an explicit worker count; `threads <= 1`
+/// runs strictly sequentially on the calling thread.
+ExperimentResult run_parallel(const ExperimentConfig& config,
+                              std::size_t repeats, std::size_t threads);
 
 }  // namespace agentloc::workload

@@ -137,17 +137,18 @@ TEST(ForwardingScheme, DepartedAgentYieldsStaleAnswer) {
   Probe& target = cluster.system.create<Probe>(1, scheme);
   Probe& requester = cluster.system.create<Probe>(0, scheme);
   cluster.run_for(sim::SimTime::millis(50));
-  cluster.system.dispose(target.id());  // crash: no deregistration
+  const auto target_id = target.id();  // target is destroyed by the dispose
+  cluster.system.dispose(target_id);   // crash: no deregistration
   cluster.run_for(sim::SimTime::millis(20));
 
   std::optional<LocateOutcome> outcome;
-  scheme.locate(requester, target.id(),
+  scheme.locate(requester, target_id,
                 [&](const LocateOutcome& o) { outcome = o; });
   cluster.run_for(sim::SimTime::seconds(10));
   ASSERT_TRUE(outcome.has_value());
   EXPECT_TRUE(outcome->found);  // stale!
   EXPECT_EQ(outcome->node, 1u);
-  EXPECT_FALSE(cluster.system.exists(target.id()));
+  EXPECT_FALSE(cluster.system.exists(target_id));
 }
 
 TEST(ForwardingScheme, CleanDeregistrationYieldsNotFound) {

@@ -258,9 +258,10 @@ TEST_F(AgentSystemTest, DisposeBouncesQueuedMessages) {
   // Dispose b after the first message is served but before the second.
   sim_.run_until(sim::SimTime::micros(1150));
   ASSERT_EQ(b.events.size(), 2u);  // start + first message
-  system_.dispose(b.id());
+  const AgentId b_id = b.id();  // b is destroyed once the sim drains
+  system_.dispose(b_id);
   sim_.run();
-  EXPECT_FALSE(system_.exists(b.id()));
+  EXPECT_FALSE(system_.exists(b_id));
   EXPECT_EQ(a.events.back(), "bounce");
 }
 
@@ -270,11 +271,12 @@ TEST_F(AgentSystemTest, AgentCanDisposeItselfInCallback) {
     void on_message(const Message&) override { system().dispose(id()); }
   };
   SelfDisposer& victim = system_.create<SelfDisposer>(1);
+  const AgentId victim_id = victim.id();  // victim is destroyed mid-run
   Probe& a = system_.create<Probe>(0);
   sim_.run();
-  system_.send(a.id(), AgentAddress{1, victim.id()}, TextPayload{"die"}, 64);
+  system_.send(a.id(), AgentAddress{1, victim_id}, TextPayload{"die"}, 64);
   sim_.run();
-  EXPECT_FALSE(system_.exists(victim.id()));
+  EXPECT_FALSE(system_.exists(victim_id));
   EXPECT_EQ(system_.stats().agents_disposed, 1u);
 }
 

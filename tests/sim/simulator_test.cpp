@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace agentloc::sim {
@@ -192,6 +194,123 @@ TEST(Simulator, PendingCountsExcludeCancelled) {
   sim.cancel(a);
   EXPECT_EQ(sim.pending(), 1u);
   EXPECT_FALSE(sim.empty());
+}
+
+TEST(Simulator, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(SimTime::millis(1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, SlotReuseInvalidatesOldIds) {
+  // The pool reuses the cancelled event's slot, but the generation tag in
+  // the id must keep the old handle dead and the ids distinct.
+  Simulator sim;
+  const EventId first = sim.schedule_at(SimTime::millis(1), [] {});
+  ASSERT_TRUE(sim.cancel(first));
+  const EventId second = sim.schedule_at(SimTime::millis(2), [] {});
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(sim.cancel(first));
+  EXPECT_TRUE(sim.cancel(second));
+  EXPECT_FALSE(sim.cancel(second));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, IdsStayUniqueAcrossHeavySlotReuse) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    const EventId id = sim.schedule_at(SimTime::millis(1), [] {});
+    for (const EventId old : ids) EXPECT_NE(id, old);
+    if (ids.size() > 8) ids.erase(ids.begin());
+    ids.push_back(id);
+    if (cycle % 2 == 0) sim.cancel(id);
+  }
+  sim.run();
+  EXPECT_EQ(sim.executed(), 500u);
+}
+
+TEST(Simulator, CancelReleasesCapturedResourcesImmediately) {
+  Simulator sim;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id =
+      sim.schedule_at(SimTime::millis(1), [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // handler still owns the capture
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_TRUE(watch.expired());  // released on cancel, not at drain time
+}
+
+TEST(Simulator, ExecutionReleasesCapturedResources) {
+  Simulator sim;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  sim.schedule_at(SimTime::millis(1), [token] { (void)*token; });
+  token.reset();
+  sim.run();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Simulator, OversizedHandlersFallBackToTheHeap) {
+  // Captures past the inline buffer take the heap path; behaviour is
+  // unchanged, including immediate release on cancel.
+  Simulator sim;
+  std::array<std::uint64_t, 16> payload{};
+  payload[7] = 99;
+  std::uint64_t seen = 0;
+  sim.schedule_at(SimTime::millis(1), [payload, &seen] { seen = payload[7]; });
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  const EventId cancelled = sim.schedule_at(
+      SimTime::millis(2), [payload, token] { (void)*token; });
+  token.reset();
+  EXPECT_TRUE(sim.cancel(cancelled));
+  EXPECT_TRUE(watch.expired());
+  sim.run();
+  EXPECT_EQ(seen, 99u);
+}
+
+TEST(Simulator, MoveOnlyCapturesSupported) {
+  // InlineFunction is move-only, so handlers may own move-only resources —
+  // something the previous std::function-based storage rejected.
+  Simulator sim;
+  auto value = std::make_unique<int>(31);
+  int seen = 0;
+  sim.schedule_at(SimTime::millis(1),
+                  [value = std::move(value), &seen] { seen = *value; });
+  sim.run();
+  EXPECT_EQ(seen, 31);
+}
+
+TEST(Simulator, CancellationBacklogStaysBounded) {
+  // Armed-then-cancelled timeouts are the dominant event pattern of RPC
+  // traffic. The pool must recycle their slots and the heap must compact
+  // the corpses instead of accumulating 100k dead entries.
+  Simulator sim;
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = sim.schedule_at(SimTime::seconds(3600), [] {});
+    ASSERT_TRUE(sim.cancel(id));
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_LE(sim.pool_size(), 64u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulator, ReservePreservesSemantics) {
+  Simulator sim;
+  sim.reserve(4096);
+  EXPECT_TRUE(sim.empty());
+  int count = 0;
+  for (int i = 0; i < 32; ++i) {
+    sim.schedule_at(SimTime::millis(i), [&count] { ++count; });
+  }
+  sim.run();
+  EXPECT_EQ(count, 32);
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+#include "util/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/summary.hpp"
+
+namespace agentloc::util {
+namespace {
+
+TEST(BenchReport, EmptyReportIsValidJson) {
+  BenchReport report("nothing");
+  EXPECT_EQ(report.row_count(), 0u);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"bench\": \"nothing\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": []"), std::string::npos);
+}
+
+TEST(BenchReport, MetaFieldsSpliceIntoTopLevel) {
+  BenchReport report("micro");
+  report.meta().set("events_per_sec", 5.0e6).set("threads", std::uint64_t{4});
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"events_per_sec\": 5000000"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+}
+
+TEST(BenchReport, RowsKeepInsertionOrderAndTypes) {
+  BenchReport report("sweep");
+  report.add_row()
+      .set("scheme", "hash")
+      .set("tagents", std::int64_t{50})
+      .set("mean_ms", 9.25);
+  report.add_row().set("scheme", "centralized");
+  ASSERT_EQ(report.row_count(), 2u);
+  const std::string json = report.json();
+  const auto hash_pos = json.find("\"scheme\": \"hash\"");
+  const auto central_pos = json.find("\"scheme\": \"centralized\"");
+  ASSERT_NE(hash_pos, std::string::npos);
+  ASSERT_NE(central_pos, std::string::npos);
+  EXPECT_LT(hash_pos, central_pos);
+  EXPECT_NE(json.find("\"tagents\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ms\": 9.25"), std::string::npos);
+}
+
+TEST(BenchReport, SummarySpreadsIntoPrefixedFields) {
+  Summary summary;
+  for (int i = 1; i <= 100; ++i) summary.add(i);
+  BenchReport report("s");
+  report.add_row().add_summary("location_ms", summary);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"location_ms_count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"location_ms_mean\": 50.5"), std::string::npos);
+  EXPECT_NE(json.find("\"location_ms_p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"location_ms_max\": 100"), std::string::npos);
+}
+
+TEST(BenchReport, EmptySummaryOnlyWritesCount) {
+  BenchReport report("s");
+  report.add_row().add_summary("lat", Summary{});
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"lat_count\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("\"lat_mean\""), std::string::npos);
+}
+
+TEST(BenchReport, EscapesStringsAndRejectsNonFiniteNumbers) {
+  BenchReport report("esc");
+  report.add_row()
+      .set("label", "a\"b\\c\nd")
+      .set("nan", std::nan(""))
+      .set("inf", std::numeric_limits<double>::infinity());
+  const std::string json = report.json();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+}
+
+TEST(BenchReport, DefaultPathUsesBenchName) {
+  EXPECT_EQ(BenchReport("experiment1").default_path(),
+            "BENCH_experiment1.json");
+}
+
+TEST(BenchReport, WriteRoundTripsToDisk) {
+  BenchReport report("writer");
+  report.meta().set("k", std::int64_t{1});
+  report.add_row().set("v", 2.5);
+  const std::string path =
+      testing::TempDir() + "/bench_report_test_output.json";
+  ASSERT_EQ(report.write(path), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), report.json());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, WriteToUnwritablePathReturnsEmpty) {
+  BenchReport report("broken");
+  EXPECT_EQ(report.write("/nonexistent-dir/nope/out.json"), "");
+}
+
+}  // namespace
+}  // namespace agentloc::util

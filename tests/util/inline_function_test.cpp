@@ -1,0 +1,124 @@
+#include "util/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace agentloc::util {
+namespace {
+
+using Fn = InlineFunction<void(), 48>;
+
+TEST(InlineFunction, DefaultIsEmpty) {
+  Fn fn;
+  EXPECT_FALSE(fn);
+  Fn null_fn(nullptr);
+  EXPECT_FALSE(null_fn);
+}
+
+TEST(InlineFunction, CallsSmallCallableInline) {
+  int count = 0;
+  Fn fn([&count] { ++count; });
+  EXPECT_TRUE(fn);
+  fn();
+  fn();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE((Fn::stored_inline<decltype([&count] { ++count; })>()));
+}
+
+TEST(InlineFunction, LargeCallableFallsBackToHeapAndStillWorks) {
+  std::array<std::uint64_t, 16> payload{};
+  payload[3] = 17;
+  std::uint64_t seen = 0;
+  auto lambda = [payload, &seen] { seen = payload[3]; };
+  EXPECT_FALSE((Fn::stored_inline<decltype(lambda)>()));
+  Fn fn(lambda);
+  fn();
+  EXPECT_EQ(seen, 17u);
+}
+
+TEST(InlineFunction, ReturnValuesAndArguments) {
+  InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunction, MutableStatePersistsAcrossCalls) {
+  InlineFunction<int()> counter([n = 0]() mutable { return ++n; });
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership) {
+  int count = 0;
+  Fn a([&count] { ++count; });
+  Fn b(std::move(a));
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  EXPECT_TRUE(b);
+  b();
+  EXPECT_EQ(count, 1);
+
+  Fn c;
+  c = std::move(b);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(InlineFunction, MoveOnlyCaptures) {
+  auto owned = std::make_unique<std::string>("hello");
+  InlineFunction<std::size_t()> fn(
+      [owned = std::move(owned)] { return owned->size(); });
+  EXPECT_EQ(fn(), 5u);
+}
+
+TEST(InlineFunction, ResetDestroysCapturedResources) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  Fn fn([token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());
+  fn.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(fn);
+}
+
+TEST(InlineFunction, DestructorReleasesHeapCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    std::array<std::uint64_t, 16> payload{};
+    Fn fn([payload, token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, MovingHeapCallableStealsThePointer) {
+  auto token = std::make_shared<int>(9);
+  std::weak_ptr<int> watch = token;
+  std::array<std::uint64_t, 16> payload{};
+  payload[0] = 9;
+  InlineFunction<std::uint64_t()> a(
+      [payload, token] { return payload[0] + static_cast<std::uint64_t>(*token); });
+  token.reset();
+  InlineFunction<std::uint64_t()> b(std::move(a));
+  EXPECT_EQ(watch.use_count(), 1);  // no copy was made
+  EXPECT_EQ(b(), 18u);
+}
+
+TEST(InlineFunction, OverwritingDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  Fn fn([token] { (void)*token; });
+  token.reset();
+  fn = Fn([] {});
+  EXPECT_TRUE(watch.expired());
+  fn();  // the replacement is callable
+}
+
+}  // namespace
+}  // namespace agentloc::util

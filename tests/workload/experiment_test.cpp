@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/hash_scheme.hpp"
 
 namespace agentloc::workload {
@@ -102,6 +104,51 @@ TEST(ExperimentRunner, SkewedTargetsStillAllFound) {
   config.target_skew = 1.5;
   const ExperimentResult result = run_experiment(config);
   EXPECT_EQ(result.queries_failed, 0u);
+}
+
+TEST(ReplicationSeed, DependsOnlyOnBaseSeedAndIndex) {
+  // The fix over the old compounding derivation: replication r's seed no
+  // longer depends on how many replications ran before it.
+  EXPECT_EQ(replication_seed(42, 3), replication_seed(42, 3));
+  EXPECT_NE(replication_seed(42, 0), replication_seed(42, 1));
+  EXPECT_NE(replication_seed(42, 1), replication_seed(43, 1));
+  // Distinct over a whole sweep's worth of replications.
+  std::set<std::uint64_t> seen;
+  for (std::size_t r = 0; r < 1000; ++r) seen.insert(replication_seed(7, r));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ExperimentRunner, SequentialAndParallelBitIdentical) {
+  ExperimentConfig config = tiny("hash");
+  const ExperimentResult seq = run_parallel(config, 4, 1);
+  const ExperimentResult par = run_parallel(config, 4, 4);
+  // Per-query samples merge in replication order, so the whole result —
+  // not just aggregates — must match bit for bit.
+  EXPECT_EQ(seq.location_ms.samples(), par.location_ms.samples());
+  EXPECT_EQ(seq.attempts.samples(), par.attempts.samples());
+  EXPECT_EQ(seq.queries_found, par.queries_found);
+  EXPECT_EQ(seq.queries_failed, par.queries_failed);
+  EXPECT_EQ(seq.wrong_location, par.wrong_location);
+  EXPECT_EQ(seq.tagent_moves, par.tagent_moves);
+  EXPECT_EQ(seq.trackers_at_end, par.trackers_at_end);
+  EXPECT_EQ(seq.events_executed, par.events_executed);
+  EXPECT_EQ(seq.scheme_stats.updates, par.scheme_stats.updates);
+  EXPECT_EQ(seq.scheme_stats.locates, par.scheme_stats.locates);
+  EXPECT_EQ(seq.network_stats.messages_sent, par.network_stats.messages_sent);
+  EXPECT_EQ(seq.network_stats.bytes_sent, par.network_stats.bytes_sent);
+  EXPECT_EQ(seq.platform_stats.messages_processed,
+            par.platform_stats.messages_processed);
+  EXPECT_DOUBLE_EQ(seq.sim_seconds, par.sim_seconds);
+}
+
+TEST(ExperimentRunner, RunRepeatedMatchesExplicitSequential) {
+  ExperimentConfig config = tiny("centralized");
+  const ExperimentResult repeated = run_repeated(config, 3);
+  const ExperimentResult sequential = run_parallel(config, 3, 1);
+  EXPECT_EQ(repeated.location_ms.samples(),
+            sequential.location_ms.samples());
+  EXPECT_EQ(repeated.events_executed, sequential.events_executed);
+  EXPECT_EQ(repeated.queries_found, sequential.queries_found);
 }
 
 TEST(MakeScheme, ConstructsEachKind) {
