@@ -13,10 +13,13 @@
 // trivially available).
 //
 // Flags: --tagents=100 --queries=1500 --max-split-bits=4,16
+//        --json-out=BENCH_ablation_ids.json
 
 #include <cstdio>
+#include <string>
 
 #include "core/hash_scheme.hpp"
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/experiment.hpp"
 #include "workload/report.hpp"
@@ -31,6 +34,8 @@ int main(int argc, char** argv) {
   const auto queries =
       static_cast<std::size_t>(flags.get_int("queries", 1500));
   const auto split_bits = flags.get_int_list("max-split-bits", {4, 16});
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_ablation_ids.json");
 
   std::printf(
       "Ablation A7: id-distribution sensitivity (%zu TAgents, residence "
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
 
   workload::Table table({"ids", "max m", "location ms", "p95 ms", "IAgents",
                          "max leaf depth (bits)", "found"});
+  util::BenchReport report("ablation_ids");
 
   const auto run_case = [&](bool mixed, std::size_t max_m) {
     ExperimentConfig config;
@@ -61,6 +67,13 @@ int main(int argc, char** argv) {
                    std::to_string(result.trackers_at_end),
                    std::to_string(max_depth),
                    workload::fmt_count(result.queries_found)});
+    report.add_row()
+        .set("ids", mixed ? "mixed" : "sequential")
+        .set("max_split_bits", static_cast<std::uint64_t>(max_m))
+        .set("trackers", static_cast<std::uint64_t>(result.trackers_at_end))
+        .set("max_leaf_depth_bits", static_cast<std::uint64_t>(max_depth))
+        .set("queries_found", result.queries_found)
+        .add_summary("location_ms", result.location_ms);
     std::fflush(stdout);
   };
 
@@ -76,5 +89,15 @@ int main(int argc, char** argv) {
       "stays on few\nIAgents (location time degrades toward centralized). "
       "Raising max_split_bits\nrestores balance at the cost of deeper "
       "hyper-labels. Mixed ids avoid the\nissue entirely.\n");
+
+  report.meta()
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("queries", static_cast<std::uint64_t>(queries));
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

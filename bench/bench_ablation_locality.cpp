@@ -8,12 +8,15 @@
 // the extension off and on.
 //
 // Flags: --tagents=60 --cluster=4 --queries=1200 --nodes=16
+//        --json-out=BENCH_ablation_locality.json
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/hash_scheme.hpp"
 #include "platform/agent_system.hpp"
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/querier.hpp"
 #include "workload/report.hpp"
@@ -108,6 +111,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("queries", 1200));
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 16));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_ablation_locality.json");
 
   std::printf(
       "Ablation A6: locality placement of IAgents (paper §7 extension)\n"
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
 
   workload::Table table({"locality", "location ms", "IAgents",
                          "IAgents in cluster", "IAgent moves", "found"});
+  util::BenchReport report("ablation_locality");
   for (const bool locality : {false, true}) {
     const Outcome outcome =
         run(locality, tagents, cluster, queries, nodes, seed);
@@ -125,6 +131,14 @@ int main(int argc, char** argv) {
                    std::to_string(outcome.iagents_in_cluster),
                    workload::fmt_count(outcome.locality_moves),
                    workload::fmt_count(outcome.found)});
+    report.add_row()
+        .set("locality", locality ? "on" : "off")
+        .set("location_ms_mean", outcome.location_ms)
+        .set("iagents", static_cast<std::uint64_t>(outcome.iagents))
+        .set("iagents_in_cluster",
+             static_cast<std::uint64_t>(outcome.iagents_in_cluster))
+        .set("iagent_moves", outcome.locality_moves)
+        .set("found", outcome.found);
     std::fflush(stdout);
   }
   std::printf("%s\n", table.str().c_str());
@@ -132,5 +146,18 @@ int main(int argc, char** argv) {
       "Reading: with the extension on, IAgents migrate into the cluster "
       "their agents\nroam, which shortens the (dominant) update path; "
       "queries issued from inside\nthe cluster also save a wide-area hop.\n");
+
+  report.meta()
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("cluster", static_cast<std::uint64_t>(cluster))
+      .set("queries", static_cast<std::uint64_t>(queries))
+      .set("nodes", static_cast<std::uint64_t>(nodes))
+      .set("seed", seed);
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

@@ -9,11 +9,13 @@
 // chains); hash stays flat on both axes.
 //
 // Flags: --agents=20,50,100 --residences-ms=100,500,2000 --queries=1200
+//        --json-out=BENCH_ablation_schemes.json
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/experiment.hpp"
 #include "workload/report.hpp"
@@ -31,7 +33,8 @@ void run_sweep(const char* title, const char* axis,
                const std::vector<std::int64_t>& values,
                const std::function<void(ExperimentConfig&, std::int64_t)>&
                    apply,
-               std::size_t queries, std::size_t repeats) {
+               std::size_t queries, std::size_t repeats, const char* sweep,
+               const char* axis_key, util::BenchReport& report) {
   std::printf("%s\n\n", title);
   workload::Table table({"scheme", axis, "location ms", "p95 ms", "trackers",
                          "found", "failed"});
@@ -48,6 +51,14 @@ void run_sweep(const char* title, const char* axis,
                      std::to_string(result.trackers_at_end),
                      workload::fmt_count(result.queries_found),
                      workload::fmt_count(result.queries_failed)});
+      report.add_row()
+          .set("sweep", sweep)
+          .set("scheme", scheme)
+          .set(axis_key, value)
+          .set("trackers", static_cast<std::uint64_t>(result.trackers_at_end))
+          .set("queries_found", result.queries_found)
+          .set("queries_failed", result.queries_failed)
+          .add_summary("location_ms", result.location_ms);
       std::fflush(stdout);
     }
   }
@@ -64,13 +75,17 @@ int main(int argc, char** argv) {
   const auto queries =
       static_cast<std::size_t>(flags.get_int("queries", 1200));
   const auto repeats = static_cast<std::size_t>(flags.get_int("repeats", 1));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_ablation_schemes.json");
+
+  util::BenchReport report("ablation_schemes");
 
   run_sweep("Ablation A2a: schemes vs. population (residence 500 ms)",
             "tagents", agents,
             [](ExperimentConfig& config, std::int64_t value) {
               config.tagents = static_cast<std::size_t>(value);
             },
-            queries, repeats);
+            queries, repeats, "population", "tagents", report);
 
   run_sweep("Ablation A2b: schemes vs. mobility (20 TAgents)",
             "residence ms", residences,
@@ -79,12 +94,22 @@ int main(int argc, char** argv) {
               config.residence =
                   sim::SimTime::millis(static_cast<double>(value));
             },
-            queries, repeats);
+            queries, repeats, "mobility", "residence_ms", report);
 
   std::printf(
       "Reading: 'home' spreads entries by id but cannot rebalance load;\n"
       "'forwarding' pays pointer-chain hops that grow with mobility between\n"
       "queries; the hash mechanism adapts tracker count to the offered "
       "load.\n");
+
+  report.meta()
+      .set("queries", static_cast<std::uint64_t>(queries))
+      .set("repeats", static_cast<std::uint64_t>(repeats));
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

@@ -9,13 +9,16 @@
 // what that does to the queries flowing throughout.
 //
 // Flags: --cycles-s=15,30,60,120 --tagents=60 --total-s=240 --seed=1
+//        --json-out=BENCH_ablation_staleness.json
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/hash_scheme.hpp"
 #include "platform/agent_system.hpp"
 #include "sim/timer.hpp"
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/querier.hpp"
 #include "workload/report.hpp"
@@ -106,6 +109,8 @@ int main(int argc, char** argv) {
   const auto tagents = static_cast<std::size_t>(flags.get_int("tagents", 60));
   const double total_s = flags.get_double("total-s", 240.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_ablation_staleness.json");
 
   std::printf(
       "Ablation A3: staleness cost of lazy hash-copy refresh under churn\n"
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
   workload::Table table({"cycle s", "rehashes", "stale retries",
                          "refresh pulls", "location ms", "p95 ms",
                          "mean attempts", "queries", "failed"});
+  util::BenchReport report("ablation_staleness");
 
   for (const std::int64_t cycle : cycles) {
     const Outcome outcome =
@@ -129,6 +135,16 @@ int main(int argc, char** argv) {
                    workload::fmt(outcome.attempts),
                    workload::fmt_count(outcome.queries),
                    workload::fmt_count(outcome.failed)});
+    report.add_row()
+        .set("cycle_s", cycle)
+        .set("rehashes", outcome.rehashes)
+        .set("stale_retries", outcome.stale_retries)
+        .set("refreshes", outcome.refreshes)
+        .set("location_ms_mean", outcome.location_ms)
+        .set("location_ms_p95", outcome.p95_ms)
+        .set("mean_attempts", outcome.attempts)
+        .set("queries", outcome.queries)
+        .set("failed", outcome.failed);
     std::fflush(stdout);
   }
 
@@ -138,5 +154,16 @@ int main(int argc, char** argv) {
       "wrong-IAgent\nbounces and refresh pulls — but mean attempts stay near "
       "1 and location time\nnear flat: only requests that actually hit a "
       "moved region pay (paper §4.3).\n");
+
+  report.meta()
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("total_s", total_s)
+      .set("seed", seed);
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

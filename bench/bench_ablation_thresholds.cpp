@@ -7,9 +7,12 @@
 // scheme's queueing behaviour.
 //
 // Flags: --tmax=10,25,50,100,400 --tagents=100 --queries=1500 --repeats=1
+//        --json-out=BENCH_ablation_thresholds.json
 
 #include <cstdio>
+#include <string>
 
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/experiment.hpp"
 #include "workload/report.hpp"
@@ -25,6 +28,8 @@ int main(int argc, char** argv) {
   const auto queries =
       static_cast<std::size_t>(flags.get_int("queries", 1500));
   const auto repeats = static_cast<std::size_t>(flags.get_int("repeats", 1));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_ablation_thresholds.json");
 
   std::printf(
       "Ablation A1: Tmax/Tmin sensitivity (tagents=%zu, residence=500ms, "
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
 
   workload::Table table({"Tmax", "Tmin", "location ms", "p95 ms", "IAgents",
                          "splits+merges", "stale retries", "refresh pulls"});
+  util::BenchReport report("ablation_thresholds");
 
   for (const std::int64_t tmax : tmax_values) {
     ExperimentConfig config;
@@ -52,6 +58,14 @@ int main(int argc, char** argv) {
                              result.scheme_stats.delivery_retries),
          workload::fmt_count(result.scheme_stats.stale_retries),
          workload::fmt_count(result.scheme_stats.refreshes_triggered)});
+    report.add_row()
+        .set("tmax", tmax)
+        .set("tmin", config.mechanism.t_min)
+        .set("trackers", static_cast<std::uint64_t>(result.trackers_at_end))
+        .set("stale_retries", result.scheme_stats.stale_retries)
+        .set("delivery_retries", result.scheme_stats.delivery_retries)
+        .set("refreshes", result.scheme_stats.refreshes_triggered)
+        .add_summary("location_ms", result.location_ms);
     std::fflush(stdout);
   }
 
@@ -61,5 +75,16 @@ int main(int argc, char** argv) {
       "traffic;\nhigher Tmax => fewer IAgents and growing queueing delay. "
       "The paper's 50/5\nsits where location time is flat at modest "
       "IAgent count.\n");
+
+  report.meta()
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("queries", static_cast<std::uint64_t>(queries))
+      .set("repeats", static_cast<std::uint64_t>(repeats));
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

@@ -9,13 +9,16 @@
 // afterwards, while per-phase location times stay flat.
 //
 // Flags: --tagents=40 --phase-s=60 --nodes=16 --seed=1
+//        --json-out=BENCH_adaptation.json
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/hash_scheme.hpp"
 #include "platform/agent_system.hpp"
 #include "sim/timer.hpp"
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "util/summary.hpp"
 #include "workload/querier.hpp"
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 16));
   const double phase_s = flags.get_double("phase-s", 60.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_adaptation.json");
 
   util::Rng master(seed);
   sim::Simulator simulator;
@@ -119,5 +124,27 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper §5): the IAgent population rises under the "
       "storm and\nmerges back afterwards; location time stays almost "
       "constant throughout.\n");
+
+  util::BenchReport report("adaptation");
+  report.meta()
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("nodes", static_cast<std::uint64_t>(nodes))
+      .set("phase_s", phase_s)
+      .set("seed", seed);
+  const auto& stats = scheme.hagent().stats();
+  report.add_row()
+      .set("iagents_calm", static_cast<std::uint64_t>(peak_calm))
+      .set("iagents_storm", static_cast<std::uint64_t>(peak_storm))
+      .set("iagents_settled", static_cast<std::uint64_t>(settled))
+      .set("splits", stats.simple_splits + stats.complex_splits)
+      .set("merges", stats.simple_merges + stats.complex_merges)
+      .add_summary("calm_ms", calm_latency)
+      .add_summary("overall_ms", storm_latency);
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

@@ -9,13 +9,16 @@
 // post-failover load surge that grows the IAgent population again.
 //
 // Flags: --tagents=40 --kill-s=40 --seed=1
+//        --json-out=BENCH_failover.json
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/hash_scheme.hpp"
 #include "platform/agent_system.hpp"
 #include "sim/timer.hpp"
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/querier.hpp"
 #include "workload/tagent.hpp"
@@ -27,6 +30,8 @@ int main(int argc, char** argv) {
   const auto tagents = static_cast<std::size_t>(flags.get_int("tagents", 40));
   const double kill_s = flags.get_double("kill-s", 40.0);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_failover.json");
 
   util::Rng master(seed);
   sim::Simulator simulator;
@@ -116,5 +121,28 @@ int main(int argc, char** argv) {
       "\nExpected: zero (or near-zero) failed queries, promotion shortly "
       "after the\nkill, and a larger IAgent population afterwards — the "
       "mechanism no longer has\na single point of failure.\n");
+
+  util::BenchReport report("failover");
+  report.meta()
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("kill_s", kill_s)
+      .set("seed", seed);
+  report.add_row()
+      .set("promoted",
+           backup->role() == core::HAgent::Role::kPrimary ? "yes" : "no")
+      .set("promotions", backup->stats().promotions)
+      .set("ops_replayed", backup->stats().ops_applied_as_follower)
+      .set("trackers_at_kill", static_cast<std::uint64_t>(trackers_at_kill))
+      .set("trackers_after_surge",
+           static_cast<std::uint64_t>(scheme.tracker_count()))
+      .set("queries_failed", querier.failed())
+      .set("queries_failed_after_kill", querier.failed() - failed_at_kill)
+      .add_summary("location_ms", querier.latencies_ms());
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

@@ -1,12 +1,16 @@
 // Figures 1-6 (paper §3-§4): the hash tree of the running example and each
 // worked split/merge transformation, regenerated from the library and
 // printed as ASCII art next to the paper's hyper-label notation.
+//
+// Flags: --json-out=BENCH_figures_1_to_6.json
 
 #include <cstdio>
 #include <string>
 
 #include "hashtree/paper_figures.hpp"
+#include "util/bench_report.hpp"
 #include "util/bitstring.hpp"
+#include "util/flags.hpp"
 
 using namespace agentloc;
 using namespace agentloc::hashtree;
@@ -23,12 +27,27 @@ void print_tree(const char* title, const HashTree& tree) {
   std::printf("\n\n");
 }
 
+util::BenchReport::Row& add_figure_row(util::BenchReport& report,
+                                       const char* figure,
+                                       const HashTree& tree) {
+  return report.add_row()
+      .set("figure", figure)
+      .set("leaves", static_cast<std::uint64_t>(tree.leaf_count()))
+      .set("version", tree.version());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_figures_1_to_6.json");
+  util::BenchReport report("figures_1_to_6");
+
   std::printf("=== Figure 1: the hash tree of the running example ===\n\n");
   const HashTree figure1 = figure1_tree();
   print_tree("Figure 1 (leaves IA0..IA6):", figure1);
+  add_figure_row(report, "1", figure1);
 
   std::printf("=== Figure 2: prefix/hyper-label compatibility ===\n\n");
   const util::BitString prefix = util::BitString::parse("00110");
@@ -39,12 +58,16 @@ int main() {
               figure1.compatible(prefix, kIA2) ? "yes" : "no");
   std::printf("lookup(%s)      -> %s\n\n", prefix.to_string().c_str(),
               paper_name(figure1.lookup(prefix).iagent).c_str());
+  add_figure_row(report, "2", figure1)
+      .set("compatible_ia2", figure1.compatible(prefix, kIA2) ? "yes" : "no")
+      .set("lookup", paper_name(figure1.lookup(prefix).iagent));
 
   std::printf("=== Figure 3: simple split of IA3 (hyper-label 1.0) ===\n\n");
   HashTree fig3 = figure1_tree();
   fig3.simple_split(kIA3, 1, kIA7, 7);
   fig3.validate();
   print_tree("After simple split (IA3 keeps 1.0.0, IA7 takes 1.0.1):", fig3);
+  add_figure_row(report, "3", fig3);
 
   std::printf(
       "=== Figure 4: complex split of IA1 (hyper-label 0.10) ===\n\n");
@@ -55,6 +78,8 @@ int main() {
   fig4.complex_split(kIA1, candidates.front(), kIA7, 7);
   fig4.validate();
   print_tree("After complex split (label 10 splits into 1 . 0|1):", fig4);
+  add_figure_row(report, "4", fig4)
+      .set("split_candidates", static_cast<std::uint64_t>(candidates.size()));
 
   std::printf("=== Figure 5: simple merge of IA6 into IA5 ===\n\n");
   HashTree fig5 = figure1_tree();
@@ -64,6 +89,9 @@ int main() {
               simple.kind == MergeResult::Kind::kSimple ? "simple" : "complex",
               paper_name(simple.into_iagent).c_str());
   print_tree("After simple merge (IA5 moves up to serve prefix 11):", fig5);
+  add_figure_row(report, "5", fig5)
+      .set("merge_kind",
+           simple.kind == MergeResult::Kind::kSimple ? "simple" : "complex");
 
   std::printf(
       "=== Figure 6: complex merge of IA1 into its sibling subtree ===\n\n");
@@ -76,8 +104,19 @@ int main() {
   print_tree(
       "After complex merge (label 0 absorbs 011; IA1's agents redistribute):",
       fig6);
+  add_figure_row(report, "6", fig6)
+      .set("merge_kind", complex_merge.kind == MergeResult::Kind::kSimple
+                             ? "simple"
+                             : "complex");
 
   std::printf("GraphViz rendering of Figure 1 (for the paper's diagram):\n%s\n",
               figure1_tree().render_dot(paper_name).c_str());
+
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

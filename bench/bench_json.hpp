@@ -51,15 +51,30 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 /// into the current working directory. The caller may pre-populate
 /// `report.meta()` with bench-specific headline numbers.
 inline int run_and_write(int argc, char** argv, util::BenchReport& report) {
+  // Peel off --json-out=<path> before google-benchmark sees the argv — it
+  // rejects flags it does not know. Empty means the report's default path.
+  std::string json_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--json-out=";
+    if (arg.rfind(prefix, 0) == 0) {
+      json_out = arg.substr(prefix.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CollectingReporter reporter(report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  const std::string path = report.write();
+  const std::string path = report.write(json_out);
   if (path.empty()) {
     std::fprintf(stderr, "failed to write %s\n",
-                 report.default_path().c_str());
+                 json_out.empty() ? report.default_path().c_str()
+                                  : json_out.c_str());
     return 1;
   }
   std::printf("wrote %s\n", path.c_str());

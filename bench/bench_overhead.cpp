@@ -7,11 +7,13 @@
 // control traffic (hash refreshes, rehash coordination, handoffs).
 //
 // Flags: --tagents=50 --queries=1500 --residence-ms=300
+//        --json-out=BENCH_overhead.json
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/experiment.hpp"
 #include "workload/report.hpp"
@@ -26,6 +28,8 @@ int main(int argc, char** argv) {
   const auto queries =
       static_cast<std::size_t>(flags.get_int("queries", 1500));
   const double residence_ms = flags.get_double("residence-ms", 300.0);
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_overhead.json");
 
   std::printf(
       "Ablation A8: network overhead per scheme "
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
 
   workload::Table table({"scheme", "location ms", "msgs/query", "KB/s",
                          "msgs/update", "refresh pulls", "trackers"});
+  util::BenchReport report("overhead");
 
   for (const std::string scheme :
        {"centralized", "home", "forwarding", "hash"}) {
@@ -63,6 +68,16 @@ int main(int argc, char** argv) {
                    workload::fmt(updates > 0 ? messages / updates : 0.0, 1),
                    workload::fmt_count(result.scheme_stats.refreshes_triggered),
                    std::to_string(result.trackers_at_end)});
+    report.add_row()
+        .set("scheme", scheme)
+        .set("msgs_per_query", per_query)
+        .set("kb_per_sec", kb_per_s)
+        .set("msgs_per_update", updates > 0 ? messages / updates : 0.0)
+        .set("messages", result.network_stats.messages_sent)
+        .set("bytes", result.network_stats.bytes_sent)
+        .set("refreshes", result.scheme_stats.refreshes_triggered)
+        .set("trackers", static_cast<std::uint64_t>(result.trackers_at_end))
+        .add_summary("location_ms", result.location_ms);
     std::fflush(stdout);
   }
 
@@ -71,5 +86,16 @@ int main(int argc, char** argv) {
       "Note: msgs/query divides *all* traffic (updates included) by "
       "completed queries,\nso it reflects each scheme's total footprint for "
       "the same workload, not the\ncost of one isolated query.\n");
+
+  report.meta()
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("queries", static_cast<std::uint64_t>(queries))
+      .set("residence_ms", residence_ms);
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

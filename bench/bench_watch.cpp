@@ -11,13 +11,16 @@
 // contact success rate via locate+contact vs. via watch+contact.
 //
 // Flags: --dwells-ms=2,3,5,10,25 --conversations=300 --seed=1
+//        --json-out=BENCH_watch.json
 
 #include <cstdio>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/hash_scheme.hpp"
 #include "platform/agent_system.hpp"
+#include "util/bench_report.hpp"
 #include "util/flags.hpp"
 #include "workload/report.hpp"
 #include "workload/tagent.hpp"
@@ -154,6 +157,7 @@ int main(int argc, char** argv) {
   const auto conversations =
       static_cast<std::size_t>(flags.get_int("conversations", 300));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_out = flags.get_string("json-out", "BENCH_watch.json");
 
   std::printf(
       "Ablation A10: contacting a fast mover — locate+contact vs. "
@@ -162,6 +166,7 @@ int main(int argc, char** argv) {
 
   workload::Table table({"dwell ms", "locate+contact success %",
                          "watch+contact success %"});
+  util::BenchReport report("watch");
   for (const std::int64_t dwell : dwells) {
     const double plain =
         run(static_cast<double>(dwell), false, conversations, seed);
@@ -169,6 +174,10 @@ int main(int argc, char** argv) {
         run(static_cast<double>(dwell), true, conversations, seed);
     table.add_row({std::to_string(dwell), workload::fmt(plain, 1),
                    workload::fmt(watched, 1)});
+    report.add_row()
+        .set("dwell_ms", dwell)
+        .set("locate_success_pct", plain)
+        .set("watch_success_pct", watched);
     std::fflush(stdout);
   }
   std::printf("%s\n", table.str().c_str());
@@ -177,5 +186,15 @@ int main(int argc, char** argv) {
       "before the\ncontact lands — fatal when the dwell time is comparable. "
       "The watch answer is\nfresh at the instant the target lands, so the "
       "contact races the full dwell.\n");
+
+  report.meta()
+      .set("conversations", static_cast<std::uint64_t>(conversations))
+      .set("seed", seed);
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
   return 0;
 }

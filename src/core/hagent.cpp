@@ -181,8 +181,7 @@ HAgent::SplitPlan HAgent::plan_split(const hashtree::HashTree& tree,
   // evenly.
   for (const auto& point : tree.complex_split_candidates(victim)) {
     const std::size_t position = tree.split_point_bit_position(victim, point);
-    const bool recorded =
-        tree.hyper_label_segments(victim)[point.segment][point.bit];
+    const bool recorded = tree.label_bit(victim, point);
     const double fraction = moved_fraction(position, !recorded);
     if (is_even(fraction)) {
       plan.complex_point = point;

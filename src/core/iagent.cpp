@@ -189,6 +189,7 @@ void IAgent::handle_responsibility(const ResponsibilityUpdate& update) {
 void IAgent::handle_handoff(const platform::Message& message,
                             const HandoffTransfer& transfer) {
   ++stats_.handoff_batches_in;
+  table_.reserve(table_.size() + transfer.entries.size());
   for (const LocationEntry& entry : transfer.entries) {
     if (table_.apply(entry)) ++stats_.handoff_entries_in;
   }

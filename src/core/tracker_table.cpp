@@ -4,22 +4,21 @@ namespace agentloc::core {
 
 Predicate predicate_of(const hashtree::HashTree& tree,
                        hashtree::IAgentId leaf) {
+  // The tree extracts (position, valid-bit) pairs straight off the node
+  // path — no hyper-label segments are materialized.
   Predicate predicate;
-  const auto segments = tree.hyper_label_segments(leaf);
-  std::uint32_t position = 0;
-  for (std::size_t i = 0; i < segments.size(); ++i) {
-    if (i > 0) {
-      predicate.valid_bits.emplace_back(position, segments[i].front());
-    }
-    position += static_cast<std::uint32_t>(segments[i].size());
-  }
+  predicate.valid_bits = tree.valid_bits(leaf);
   return predicate;
 }
 
 bool LocationTable::apply(const LocationEntry& entry) {
-  const auto it = entries_.find(entry.agent);
-  if (it != entries_.end() && it->second.seq >= entry.seq) return false;
-  entries_[entry.agent] = Stored{entry.node, entry.seq};
+  // Single hash probe: try_emplace either inserts or hands back the existing
+  // slot, instead of a find followed by a second operator[] lookup.
+  const auto [it, inserted] =
+      entries_.try_emplace(entry.agent, Stored{entry.node, entry.seq});
+  if (inserted) return true;
+  if (it->second.seq >= entry.seq) return false;
+  it->second = Stored{entry.node, entry.seq};
   return true;
 }
 

@@ -29,6 +29,10 @@ class LocationTable {
   }
   std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Pre-size for an expected population — bulk loads (handoffs, takeovers)
+  /// would otherwise rehash repeatedly while inserting.
+  void reserve(std::size_t count) { entries_.reserve(count); }
+
   /// Remove and return every entry matching `predicate` — the handoff scan
   /// performed when responsibility shrinks.
   std::vector<LocationEntry> extract_matching(const Predicate& predicate);

@@ -1,0 +1,77 @@
+#include "hashtree/router.hpp"
+
+namespace agentloc::hashtree {
+
+void CompiledRouter::rebuild(const HashTree& tree) {
+  entries_.clear();
+  // A tree with L leaves has exactly 2L - 1 nodes.
+  entries_.reserve(2 * tree.leaf_count());
+
+  struct Item {
+    const HashTree::Node* node;
+    std::uint32_t consumed;  ///< id bits consumed through this node's label
+    std::uint32_t parent;    ///< entry index to patch, kLeafSentinel for root
+    std::uint8_t slot;
+  };
+  std::vector<Item> stack;
+  stack.push_back({tree.root_.get(),
+                   static_cast<std::uint32_t>(tree.root_->label.size()),
+                   kLeafSentinel, 0});
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const auto idx = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+    if (item.parent != kLeafSentinel) {
+      entries_[item.parent].child[item.slot] = idx;
+    }
+    Entry& entry = entries_.back();
+    if (item.node->is_leaf()) {
+      entry.iagent = item.node->iagent;
+      entry.location = item.node->location;
+    } else {
+      entry.bit_pos = item.consumed;
+      const HashTree::Node* c0 = item.node->child[0].get();
+      const HashTree::Node* c1 = item.node->child[1].get();
+      // Push child 1 first so child 0 (and with it the whole left subtree)
+      // lands immediately after its parent — preorder layout.
+      stack.push_back({c1,
+                       item.consumed +
+                           static_cast<std::uint32_t>(c1->label.size()),
+                       idx, 1});
+      stack.push_back({c0,
+                       item.consumed +
+                           static_cast<std::uint32_t>(c0->label.size()),
+                       idx, 0});
+    }
+  }
+  compiled_version_ = tree.version();
+}
+
+HashTree::Target CompiledRouter::route_id(std::uint64_t id) const noexcept {
+  const Entry* entries = entries_.data();
+  const Entry* e = entries;
+  while (e->child[0] != kLeafSentinel) {
+    const std::uint32_t pos = e->bit_pos;
+    // Bits past the id's 64 read as zero (ids shorter than the consumed
+    // path are zero-extended).
+    const std::uint64_t bit = pos < 64 ? (id >> (63 - pos)) & 1u : 0u;
+    e = entries + e->child[bit];
+  }
+  return HashTree::Target{e->iagent, e->location};
+}
+
+HashTree::Target CompiledRouter::route(
+    const util::BitString& id_bits) const noexcept {
+  const Entry* entries = entries_.data();
+  const Entry* e = entries;
+  const std::size_t n = id_bits.size();
+  while (e->child[0] != kLeafSentinel) {
+    const std::size_t pos = e->bit_pos;
+    const std::size_t bit = pos < n && id_bits[pos] ? 1 : 0;
+    e = entries + e->child[bit];
+  }
+  return HashTree::Target{e->iagent, e->location};
+}
+
+}  // namespace agentloc::hashtree

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hashtree/tree.hpp"
+
+namespace agentloc::hashtree {
+
+/// Compiled read path for the hash function (DESIGN.md §9).
+///
+/// The pointer-based `HashTree` is the right shape for rehashing — splits and
+/// merges are local splices — but a poor shape for the read path: every
+/// location query chases `unique_ptr`s scattered across the heap and consults
+/// heap-backed `BitString` labels. `CompiledRouter` flattens the tree into a
+/// contiguous array of fixed-size entries laid out in preorder (so a root→leaf
+/// walk moves forward through cache-resident memory):
+///
+///  * internal entries carry the *absolute id-bit position* their children
+///    discriminate on (label skip widths are pre-summed into it at compile
+///    time) and the two child entry indices;
+///  * leaf entries carry the `{iagent, location}` payload.
+///
+/// `route_id` is the allocation-free fast path: a 64-bit id is routed with a
+/// branch-light loop of word shifts — no `BitString` is ever materialized.
+///
+/// Staleness: the router is keyed on `HashTree::version()`, which every
+/// mutation bumps. `HashTree::lookup`/`lookup_id` call `rebuild` lazily when
+/// the compiled version no longer matches, so a rehash costs one O(n) rebuild
+/// amortized over the read traffic that follows it (see DESIGN.md §9 for why
+/// version-keyed invalidation is safe).
+class CompiledRouter {
+ public:
+  /// Sentinel child index marking a leaf entry.
+  static constexpr std::uint32_t kLeafSentinel = 0xffffffffu;
+
+  struct Entry {
+    std::uint32_t bit_pos = 0;  ///< id bit consulted here (internal entries)
+    std::uint32_t child[2] = {kLeafSentinel, kLeafSentinel};
+    NodeLocation location = 0;      ///< leaf payload
+    IAgentId iagent = kNoIAgent;    ///< leaf payload; kNoIAgent when internal
+  };
+
+  /// True when the router was compiled from this tree's current version.
+  bool fresh(const HashTree& tree) const noexcept {
+    return !entries_.empty() && compiled_version_ == tree.version();
+  }
+
+  /// Recompile from the tree (preorder flattening; clears previous state).
+  void rebuild(const HashTree& tree);
+
+  /// Route a 64-bit id. Allocation-free. Precondition: compiled.
+  HashTree::Target route_id(std::uint64_t id) const noexcept;
+
+  /// Route an id given as bits (ids shorter than the consumed path read as
+  /// zero-extended, matching the node-walking lookup). Precondition:
+  /// compiled.
+  HashTree::Target route(const util::BitString& id_bits) const noexcept;
+
+  std::uint64_t compiled_version() const noexcept { return compiled_version_; }
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t compiled_version_ = 0;  ///< 0 = never compiled
+};
+
+}  // namespace agentloc::hashtree

@@ -14,6 +14,8 @@ constexpr std::uint32_t kMagic = 0x48545245;  // "HTRE"
 }  // namespace
 
 void HashTree::serialize(util::ByteWriter& writer) const {
+  // 2L-1 nodes at a handful of bytes each; one up-front growth.
+  writer.reserve(16 + 24 * leaf_index_.size());
   writer.write_u32(kMagic);
   writer.write_varint(version_);
   std::vector<const Node*> stack{root_.get()};
@@ -38,40 +40,71 @@ HashTree HashTree::deserialize(util::ByteReader& reader) {
   }
   const std::uint64_t version = reader.read_varint();
 
-  // Read the preorder stream recursively, then adopt the result.
-  struct Builder {
-    static std::unique_ptr<Node> read(util::ByteReader& reader,
-                                      std::size_t depth) {
-      if (depth > 512) {
-        throw std::invalid_argument("HashTree::deserialize: tree too deep");
-      }
-      const std::uint8_t flag = reader.read_u8();
-      auto node = std::make_unique<Node>();
-      node->label = reader.read_bits();
-      if (flag == kLeafFlag) {
-        node->iagent = reader.read_varint();
-        node->location = static_cast<NodeLocation>(reader.read_u32());
-        if (node->iagent == kNoIAgent) {
-          throw std::invalid_argument(
-              "HashTree::deserialize: leaf without IAgent");
-        }
-      } else if (flag == kInternalFlag) {
-        node->child[0] = read(reader, depth + 1);
-        node->child[1] = read(reader, depth + 1);
-        node->child[0]->parent = node.get();
-        node->child[1]->parent = node.get();
-      } else {
-        throw std::invalid_argument("HashTree::deserialize: bad node flag");
-      }
-      return node;
-    }
-  };
-
+  // Decode the preorder stream with an explicit stack: each pending slot
+  // names where the next decoded node attaches. Preorder means child 0's
+  // whole subtree precedes child 1, so slot 1 is pushed first.
+  //
+  // Every tree invariant is checked inline as nodes decode — edge labels
+  // non-empty with the valid bit matching the child slot, leaves carrying
+  // unique nonzero IAgent ids — and the rest (two-or-zero children, parent
+  // links, index consistency) holds by construction, so no separate
+  // `validate()` pass over the finished tree is needed.
   HashTree tree(kNoIAgent + 1, 0);  // placeholder root, replaced below
-  tree.root_ = Builder::read(reader, 0);
+  tree.leaf_index_.clear();
+  auto root = std::make_unique<Node>();
+  struct Pending {
+    Node* parent;
+    int slot;
+    std::size_t depth;
+  };
+  std::vector<Pending> stack{{nullptr, 0, 0}};
+  while (!stack.empty()) {
+    const Pending at = stack.back();
+    stack.pop_back();
+    if (at.depth > 512) {
+      throw std::invalid_argument("HashTree::deserialize: tree too deep");
+    }
+    Node* node;
+    if (at.parent == nullptr) {
+      node = root.get();
+    } else {
+      at.parent->child[at.slot] = std::make_unique<Node>();
+      node = at.parent->child[at.slot].get();
+      node->parent = at.parent;
+    }
+    const std::uint8_t flag = reader.read_u8();
+    node->label = reader.read_bits();
+    if (at.parent != nullptr) {
+      if (node->label.empty()) {
+        throw std::invalid_argument(
+            "HashTree::deserialize: non-root node with empty label");
+      }
+      if (node->label.front() != (at.slot == 1)) {
+        throw std::invalid_argument(
+            "HashTree::deserialize: valid bit disagrees with child position");
+      }
+    }
+    if (flag == kLeafFlag) {
+      node->iagent = reader.read_varint();
+      node->location = static_cast<NodeLocation>(reader.read_u32());
+      if (node->iagent == kNoIAgent) {
+        throw std::invalid_argument(
+            "HashTree::deserialize: leaf without IAgent");
+      }
+      if (!tree.leaf_index_.emplace(node->iagent, node)) {
+        throw std::invalid_argument(
+            "HashTree::deserialize: duplicate IAgent id");
+      }
+    } else if (flag == kInternalFlag) {
+      stack.push_back({node, 1, at.depth + 1});
+      stack.push_back({node, 0, at.depth + 1});
+    } else {
+      throw std::invalid_argument("HashTree::deserialize: bad node flag");
+    }
+  }
+
+  tree.root_ = std::move(root);
   tree.version_ = version;
-  tree.rebuild_index();
-  tree.validate();
   return tree;
 }
 

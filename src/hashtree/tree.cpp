@@ -4,7 +4,128 @@
 #include <tuple>
 #include <stdexcept>
 
+#include "hashtree/router.hpp"
+
+// The node pool below recycles fixed-size blocks through free lists and never
+// returns chunks to the OS; under sanitizers that would mask use-after-free
+// on nodes, so the pool compiles down to plain new/delete there.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(AGENTLOC_SANITIZE) || defined(__SANITIZE_ADDRESS__) || \
+    __has_feature(address_sanitizer)
+#define AGENTLOC_NODE_POOL 0
+#else
+#define AGENTLOC_NODE_POOL 1
+#endif
+
+#if AGENTLOC_NODE_POOL
+#include <mutex>
+#endif
+
 namespace agentloc::hashtree {
+
+#if AGENTLOC_NODE_POOL
+namespace {
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+/// Blocks from threads that exited; any thread may adopt them. Leaked on
+/// purpose (never destroyed) so no destruction-order hazard exists between
+/// this list and the thread-local pools that push into it.
+struct OrphanList {
+  std::mutex mu;
+  FreeBlock* head = nullptr;
+};
+
+OrphanList& orphans() {
+  static OrphanList* list = new OrphanList;
+  return *list;
+}
+
+constexpr std::size_t kChunkBlocks = 256;
+
+/// Per-thread free list plus a bump cursor over the current chunk. Chunks are
+/// deliberately never freed, so a block may safely migrate between threads'
+/// free lists (allocate on A, free on B). On thread exit the remaining blocks
+/// are spliced into the orphan list for other threads to reuse.
+struct NodePool {
+  FreeBlock* free = nullptr;
+  std::byte* cursor = nullptr;
+  std::size_t left = 0;
+  std::size_t block_size = 0;
+
+  ~NodePool() {
+    while (left > 0) {
+      auto* block = reinterpret_cast<FreeBlock*>(cursor);
+      cursor += block_size;
+      --left;
+      block->next = free;
+      free = block;
+    }
+    if (free == nullptr) return;
+    FreeBlock* tail = free;
+    while (tail->next != nullptr) tail = tail->next;
+    std::lock_guard<std::mutex> lock(orphans().mu);
+    tail->next = orphans().head;
+    orphans().head = free;
+  }
+};
+
+NodePool& node_pool() {
+  thread_local NodePool pool;
+  return pool;
+}
+
+}  // namespace
+
+void* HashTree::Node::operator new(std::size_t size) {
+  NodePool& pool = node_pool();
+  if (pool.free == nullptr && pool.left == 0) {
+    {
+      std::lock_guard<std::mutex> lock(orphans().mu);
+      pool.free = orphans().head;
+      orphans().head = nullptr;
+    }
+    if (pool.free == nullptr) {
+      pool.cursor = static_cast<std::byte*>(::operator new(kChunkBlocks * size));
+      pool.left = kChunkBlocks;
+      pool.block_size = size;
+    }
+  }
+  if (pool.free != nullptr) {
+    FreeBlock* block = pool.free;
+    pool.free = block->next;
+    return block;
+  }
+  void* out = pool.cursor;
+  pool.cursor += size;
+  --pool.left;
+  return out;
+}
+
+void HashTree::Node::operator delete(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  auto* block = static_cast<FreeBlock*>(ptr);
+  NodePool& pool = node_pool();
+  block->next = pool.free;
+  pool.free = block;
+}
+#else
+void* HashTree::Node::operator new(std::size_t size) {
+  return ::operator new(size);
+}
+
+void HashTree::Node::operator delete(void* ptr) noexcept {
+  ::operator delete(ptr);
+}
+#endif  // AGENTLOC_NODE_POOL
+
+HashTree::HashTree(HashTree&&) noexcept = default;
+HashTree& HashTree::operator=(HashTree&&) noexcept = default;
+HashTree::~HashTree() = default;
 
 HashTree::HashTree(IAgentId initial, NodeLocation location) {
   if (initial == kNoIAgent) {
@@ -17,61 +138,65 @@ HashTree::HashTree(IAgentId initial, NodeLocation location) {
 }
 
 HashTree::HashTree(const HashTree& other) : version_(other.version_) {
+  leaf_index_.reserve(other.leaf_index_.size());
   root_ = clone_subtree(*other.root_, nullptr);
-  rebuild_index();
 }
 
 HashTree& HashTree::operator=(const HashTree& other) {
   if (this == &other) return *this;
   version_ = other.version_;
+  leaf_index_.clear();
+  leaf_index_.reserve(other.leaf_index_.size());
   root_ = clone_subtree(*other.root_, nullptr);
-  rebuild_index();
+  // The structure changed wholesale; a router compiled for the previous
+  // structure may share the new version number, so drop it outright.
+  router_.reset();
   return *this;
 }
 
 std::unique_ptr<HashTree::Node> HashTree::clone_subtree(const Node& node,
                                                         Node* parent) {
+  // Preorder with an explicit stack of (source, destination) pairs: the
+  // destination node is allocated when its parent is visited, so each visit
+  // only fills fields and links children. Cloned leaves are registered in
+  // `leaf_index_` on the spot — one walk builds both tree and index.
   auto copy = std::make_unique<Node>();
-  copy->label = node.label;
   copy->parent = parent;
-  copy->iagent = node.iagent;
-  copy->location = node.location;
-  if (!node.is_leaf()) {
-    copy->child[0] = clone_subtree(*node.child[0], copy.get());
-    copy->child[1] = clone_subtree(*node.child[1], copy.get());
+  std::vector<std::pair<const Node*, Node*>> stack{{&node, copy.get()}};
+  while (!stack.empty()) {
+    const auto [src, dst] = stack.back();
+    stack.pop_back();
+    dst->label = src->label;
+    dst->iagent = src->iagent;
+    dst->location = src->location;
+    if (src->is_leaf()) {
+      leaf_index_.emplace(dst->iagent, dst);
+    } else {
+      dst->child[0] = std::make_unique<Node>();
+      dst->child[1] = std::make_unique<Node>();
+      dst->child[0]->parent = dst;
+      dst->child[1]->parent = dst;
+      stack.emplace_back(src->child[1].get(), dst->child[1].get());
+      stack.emplace_back(src->child[0].get(), dst->child[0].get());
+    }
   }
   return copy;
 }
 
-void HashTree::rebuild_index() {
-  leaf_index_.clear();
-  std::vector<Node*> stack{root_.get()};
-  while (!stack.empty()) {
-    Node* node = stack.back();
-    stack.pop_back();
-    if (node->is_leaf()) {
-      leaf_index_.emplace(node->iagent, node);
-    } else {
-      stack.push_back(node->child[1].get());
-      stack.push_back(node->child[0].get());
-    }
-  }
-}
-
 HashTree::Node* HashTree::leaf_for(IAgentId id) {
-  const auto it = leaf_index_.find(id);
-  if (it == leaf_index_.end()) {
+  Node* const* found = leaf_index_.find(id);
+  if (found == nullptr) {
     throw std::out_of_range("HashTree: unknown IAgent id");
   }
-  return it->second;
+  return *found;
 }
 
 const HashTree::Node* HashTree::leaf_for(IAgentId id) const {
-  const auto it = leaf_index_.find(id);
-  if (it == leaf_index_.end()) {
+  Node* const* found = leaf_index_.find(id);
+  if (found == nullptr) {
     throw std::out_of_range("HashTree: unknown IAgent id");
   }
-  return it->second;
+  return *found;
 }
 
 const HashTree::Node* HashTree::descend(
@@ -89,28 +214,40 @@ const HashTree::Node* HashTree::descend(
   return node;
 }
 
+const CompiledRouter& HashTree::router() const {
+  if (router_ == nullptr) router_ = std::make_unique<CompiledRouter>();
+  if (!router_->fresh(*this)) router_->rebuild(*this);
+  return *router_;
+}
+
 HashTree::Target HashTree::lookup(const util::BitString& id_bits) const {
-  const Node* leaf = descend(id_bits);
-  return Target{leaf->iagent, leaf->location};
+  return router().route(id_bits);
 }
 
 HashTree::Target HashTree::lookup_id(std::uint64_t id) const {
-  return lookup(util::BitString::from_uint(id, 64));
+  return router().route_id(id);
+}
+
+HashTree::Target HashTree::lookup_walk(const util::BitString& id_bits) const {
+  const Node* leaf = descend(id_bits);
+  return Target{leaf->iagent, leaf->location};
 }
 
 bool HashTree::compatible(const util::BitString& id_bits,
                           IAgentId leaf) const {
   // Paper §3: a prefix is compatible with a hyper-label iff the valid bit of
   // each label equals the id bit at the label's position within the
-  // hyper-label. The root padding contributes no valid bit.
-  const auto segments = hyper_label_segments(leaf);
+  // hyper-label. The root padding contributes no valid bit. Implemented over
+  // the node path directly (no label copies) and independently of both
+  // lookup paths; property tests assert all three agree.
+  const auto path = path_to(leaf_for(leaf));
   std::size_t pos = 0;
-  for (std::size_t i = 0; i < segments.size(); ++i) {
+  for (std::size_t i = 0; i < path.size(); ++i) {
     if (i > 0) {
       const bool id_bit = pos < id_bits.size() && id_bits[pos];
-      if (segments[i].front() != id_bit) return false;
+      if (path[i]->label[0] != id_bit) return false;
     }
-    pos += segments[i].size();
+    pos += path[i]->label.size();
   }
   return true;
 }
@@ -140,6 +277,31 @@ std::vector<util::BitString> HashTree::hyper_label_segments(
   segments.reserve(path.size());
   for (const Node* node : path) segments.push_back(node->label);
   return segments;
+}
+
+std::vector<std::pair<std::uint32_t, bool>> HashTree::valid_bits(
+    IAgentId leaf) const {
+  const auto path = path_to(leaf_for(leaf));
+  std::vector<std::pair<std::uint32_t, bool>> out;
+  out.reserve(path.size() - 1);
+  std::uint32_t pos = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out.emplace_back(pos, path[i]->label[0]);
+    pos += static_cast<std::uint32_t>(path[i]->label.size());
+  }
+  return out;
+}
+
+bool HashTree::label_bit(IAgentId leaf, const SplitPoint& point) const {
+  const auto path = path_to(leaf_for(leaf));
+  if (point.segment >= path.size()) {
+    throw std::out_of_range("HashTree::label_bit: segment");
+  }
+  const util::BitString& label = path[point.segment]->label;
+  if (point.bit >= label.size()) {
+    throw std::out_of_range("HashTree::label_bit: bit");
+  }
+  return label[point.bit];
 }
 
 std::string HashTree::hyper_label(IAgentId leaf) const {
@@ -268,8 +430,8 @@ void HashTree::validate() const {
       if (node->iagent == kNoIAgent) {
         throw std::logic_error("HashTree: leaf without IAgent id");
       }
-      const auto it = leaf_index_.find(node->iagent);
-      if (it == leaf_index_.end() || it->second != node) {
+      Node* const* found = leaf_index_.find(node->iagent);
+      if (found == nullptr || *found != node) {
         throw std::logic_error("HashTree: leaf index inconsistent");
       }
     } else {

@@ -4,11 +4,12 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/bitstring.hpp"
 #include "util/bytebuffer.hpp"
+#include "util/flat_map.hpp"
 
 namespace agentloc::hashtree {
 
@@ -49,6 +50,8 @@ struct MergeResult {
   IAgentId into_iagent = kNoIAgent;
 };
 
+class CompiledRouter;
+
 /// The extendible hash function of the paper, represented as a binary *hash
 /// tree* (paper §3–§4).
 ///
@@ -76,9 +79,9 @@ class HashTree {
 
   HashTree(const HashTree& other);
   HashTree& operator=(const HashTree& other);
-  HashTree(HashTree&&) noexcept = default;
-  HashTree& operator=(HashTree&&) noexcept = default;
-  ~HashTree() = default;
+  HashTree(HashTree&&) noexcept;
+  HashTree& operator=(HashTree&&) noexcept;
+  ~HashTree();
 
   /// --- Lookup ------------------------------------------------------------
 
@@ -88,11 +91,24 @@ class HashTree {
   };
 
   /// Map an agent id (given as bits, most significant first) to the
-  /// responsible IAgent.
+  /// responsible IAgent. Served by the compiled router (recompiled lazily
+  /// after mutations — see `router()`).
   Target lookup(const util::BitString& id_bits) const;
 
-  /// Convenience for 64-bit ids.
+  /// 64-bit ids, allocation-free: the id is routed directly by the compiled
+  /// router without materializing a `BitString`.
   Target lookup_id(std::uint64_t id) const;
+
+  /// Reference implementation of `lookup`: walk the node structure. Kept
+  /// independent of the compiled router; property tests assert both agree
+  /// bit-for-bit with `compatible`.
+  Target lookup_walk(const util::BitString& id_bits) const;
+
+  /// The compiled read path, recompiled lazily when `version()` has moved
+  /// since the last compile. Note this lazily mutates internal state:
+  /// concurrent first-lookups on a shared stale tree would race (each sim
+  /// instance is single-threaded; parallel sweeps clone per worker).
+  const CompiledRouter& router() const;
 
   /// The paper's compatibility predicate (§3, Figure 2): true when the valid
   /// bit of every label in the leaf's hyper-label equals the id bit at that
@@ -119,6 +135,16 @@ class HashTree {
   /// empty), the rest are the edge labels down to the leaf. Throws if
   /// unknown.
   std::vector<util::BitString> hyper_label_segments(IAgentId leaf) const;
+
+  /// The (position, value) pairs of the valid bits on a leaf's root→leaf
+  /// path — the leaf's responsibility predicate, extracted without copying
+  /// any label. Throws if unknown.
+  std::vector<std::pair<std::uint32_t, bool>> valid_bits(IAgentId leaf) const;
+
+  /// Bit `point.bit` of segment `point.segment` of the leaf's hyper-label
+  /// (segment 0 = root padding), without materializing the segments.
+  /// Throws `std::out_of_range` when the point does not exist.
+  bool label_bit(IAgentId leaf, const SplitPoint& point) const;
 
   /// Dotted rendering, e.g. "1.0" or "0.011.0"; root padding, when present,
   /// is shown as a leading "(pad)" segment. Matches the paper's notation.
@@ -223,10 +249,18 @@ class HashTree {
     NodeLocation location = 0;
 
     bool is_leaf() const noexcept { return child[0] == nullptr; }
+
+    /// Nodes churn hard — every copy, deserialize, and split/merge cycle
+    /// allocates and frees them in bulk — so they come from a thread-local
+    /// free-list pool instead of the general-purpose heap. Disabled under
+    /// the sanitizer build so ASan still sees every node individually.
+    static void* operator new(std::size_t size);
+    static void operator delete(void* ptr) noexcept;
   };
 
-  static std::unique_ptr<Node> clone_subtree(const Node& node, Node* parent);
-  void rebuild_index();
+  /// Clone `node`'s subtree and register every cloned leaf in this tree's
+  /// `leaf_index_` during the same walk (one traversal, not two).
+  std::unique_ptr<Node> clone_subtree(const Node& node, Node* parent);
   Node* leaf_for(IAgentId id);
   const Node* leaf_for(IAgentId id) const;
   const Node* descend(const util::BitString& id_bits) const;
@@ -236,9 +270,17 @@ class HashTree {
   void validate_node(const Node* node, const Node* parent,
                      std::size_t depth) const;
 
+  friend class CompiledRouter;
+
   std::unique_ptr<Node> root_;
-  std::unordered_map<IAgentId, Node*> leaf_index_;
+  /// Leaf id → node. Open-addressing map: clones and deserializes insert one
+  /// entry per leaf, and `std::unordered_map`'s per-entry heap nodes made
+  /// that bookkeeping the dominant cost of both paths.
+  util::FlatMap<IAgentId, Node*, kNoIAgent> leaf_index_;
   std::uint64_t version_ = 1;
+  /// Lazily (re)compiled read path; never copied (copies start cold), moved
+  /// along with the structure it was compiled from.
+  mutable std::unique_ptr<CompiledRouter> router_;
 };
 
 }  // namespace agentloc::hashtree

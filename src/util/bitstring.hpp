@@ -6,7 +6,6 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace agentloc::util {
 
@@ -19,21 +18,35 @@ namespace agentloc::util {
 /// orientation: bit 0 of an agent id is the first bit consulted by the hash
 /// tree.
 ///
-/// The representation is a packed `std::vector<uint64_t>` (bit i lives in
-/// word i/64 at bit position 63 - i%64), so prefix extraction, comparison,
-/// and append are cheap for the short strings (tens of bits) this library
-/// manipulates, while still supporting full 64-bit ids and longer test
-/// inputs.
+/// The representation is packed 64-bit words (bit i lives in word i/64 at
+/// bit position 63 - i%64) with a small-buffer optimization: strings of up
+/// to `kInlineBits` bits — every edge label, every 64-bit agent id, and all
+/// but pathological hyper-labels — live inline in the object and never touch
+/// the heap. All kernels (append, substr, prefix, comparison, prefix tests)
+/// operate word-at-a-time.
+///
+/// Invariant: the unused low bits of the last word are always zero, so
+/// equality and hashing can compare whole words.
 class BitString {
  public:
+  /// Bits held inline before the representation spills to the heap.
+  static constexpr std::size_t kInlineWords = 2;
+  static constexpr std::size_t kInlineBits = kInlineWords * 64;
+
   /// The empty bit string.
-  BitString() = default;
+  BitString() noexcept : size_(0), cap_words_(kInlineWords) {}
 
   /// A bit string of `count` copies of `bit`.
   BitString(std::size_t count, bool bit);
 
   /// Construct from explicit bits, most significant first: `{1,0,1}` is "101".
   BitString(std::initializer_list<bool> bits);
+
+  BitString(const BitString& other);
+  BitString(BitString&& other) noexcept;
+  BitString& operator=(const BitString& other);
+  BitString& operator=(BitString&& other) noexcept;
+  ~BitString() { release(); }
 
   /// Parse from text consisting of '0' and '1' characters only.
   /// Throws `std::invalid_argument` on any other character.
@@ -45,8 +58,25 @@ class BitString {
   /// Throws `std::invalid_argument` if `width > 64`.
   static BitString from_uint(std::uint64_t value, std::size_t width);
 
+  /// Rebuild from MSB-first packed bytes (the wire format of
+  /// `ByteWriter::write_bits`): bit i of the string is bit 7 - i%8 of byte
+  /// i/8. Trailing bits of the last byte beyond `bit_count` are ignored.
+  static BitString from_packed_msb(const std::uint8_t* data,
+                                   std::size_t bit_count);
+
+  /// Write the string as MSB-first packed bytes into `out`, which must have
+  /// room for `(size() + 7) / 8` bytes.
+  void pack_msb(std::uint8_t* out) const noexcept;
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of 64-bit words backing the string.
+  std::size_t word_count() const noexcept { return (size_ + 63) >> 6; }
+
+  /// Read-only view of the packed words (unused low bits of the last word
+  /// are zero). Valid for `word_count()` words.
+  const std::uint64_t* words() const noexcept { return words_ptr(); }
 
   /// Bit at position `i` (0 = left-most). Throws `std::out_of_range`.
   bool at(std::size_t i) const;
@@ -61,10 +91,7 @@ class BitString {
   /// Last bit. Throws on empty.
   bool back() const { return at(size_ - 1); }
 
-  void clear() noexcept {
-    words_.clear();
-    size_ = 0;
-  }
+  void clear() noexcept { size_ = 0; }
 
   /// Append a single bit.
   void push_back(bool bit);
@@ -76,7 +103,8 @@ class BitString {
   void set(std::size_t i, bool bit);
 
   /// Append all of `other`'s bits (concatenation of labels into
-  /// hyper-labels). Self-append is supported.
+  /// hyper-labels). Self-append is supported. Word-at-a-time: the source is
+  /// shifted into place 64 bits per step.
   void append(const BitString& other);
 
   /// The `count` left-most bits. Throws `std::out_of_range` if
@@ -113,20 +141,44 @@ class BitString {
   std::size_t hash() const noexcept;
 
  private:
+  bool is_inline() const noexcept { return cap_words_ <= kInlineWords; }
+  std::uint64_t* words_ptr() noexcept { return is_inline() ? sbo_ : heap_; }
+  const std::uint64_t* words_ptr() const noexcept {
+    return is_inline() ? sbo_ : heap_;
+  }
+
   bool get_unchecked(std::size_t i) const noexcept {
-    return (words_[i >> 6] >> (63 - (i & 63))) & 1u;
+    return (words_ptr()[i >> 6] >> (63 - (i & 63))) & 1u;
   }
   void set_unchecked(std::size_t i, bool bit) noexcept {
     const std::uint64_t mask = std::uint64_t{1} << (63 - (i & 63));
     if (bit) {
-      words_[i >> 6] |= mask;
+      words_ptr()[i >> 6] |= mask;
     } else {
-      words_[i >> 6] &= ~mask;
+      words_ptr()[i >> 6] &= ~mask;
     }
   }
 
-  std::vector<std::uint64_t> words_;
-  std::size_t size_ = 0;
+  /// Grow storage to hold at least `words` words, preserving content.
+  void ensure_capacity(std::size_t words);
+
+  /// Zero the unused low bits of the last word (no-op when word-aligned).
+  void clear_tail() noexcept {
+    if (size_ & 63) {
+      words_ptr()[word_count() - 1] &= ~std::uint64_t{0} << (64 - (size_ & 63));
+    }
+  }
+
+  void release() noexcept {
+    if (!is_inline()) delete[] heap_;
+  }
+
+  std::size_t size_;       ///< bits
+  std::size_t cap_words_;  ///< capacity; > kInlineWords means heap storage
+  union {
+    std::uint64_t sbo_[kInlineWords];
+    std::uint64_t* heap_;
+  };
 };
 
 std::ostream& operator<<(std::ostream& os, const BitString& bits);

@@ -39,19 +39,10 @@ void ByteWriter::write_string(std::string_view text) {
 
 void ByteWriter::write_bits(const BitString& bits) {
   write_varint(bits.size());
-  std::uint8_t acc = 0;
-  int filled = 0;
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    acc = static_cast<std::uint8_t>((acc << 1) | (bits[i] ? 1 : 0));
-    if (++filled == 8) {
-      bytes_.push_back(acc);
-      acc = 0;
-      filled = 0;
-    }
-  }
-  if (filled != 0) {
-    bytes_.push_back(static_cast<std::uint8_t>(acc << (8 - filled)));
-  }
+  const std::size_t byte_count = (bits.size() + 7) / 8;
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + byte_count);
+  bits.pack_msb(bytes_.data() + at);
 }
 
 void ByteWriter::write_bytes(const std::uint8_t* data, std::size_t size) {
@@ -118,11 +109,7 @@ BitString ByteReader::read_bits() {
   const std::uint64_t count = read_varint();
   const std::size_t byte_count = (count + 7) / 8;
   require(byte_count);
-  BitString out;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint8_t byte = data_[pos_ + i / 8];
-    out.push_back((byte >> (7 - i % 8)) & 1u);
-  }
+  BitString out = BitString::from_packed_msb(data_ + pos_, count);
   pos_ += byte_count;
   return out;
 }

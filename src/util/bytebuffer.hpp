@@ -30,6 +30,9 @@ class ByteWriter {
   void write_bits(const BitString& bits);
   void write_bytes(const std::uint8_t* data, std::size_t size);
 
+  /// Pre-grow the underlying buffer for a payload of known rough size.
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes_.size() + bytes); }
+
   const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
   std::size_t size() const noexcept { return bytes_.size(); }
 

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -208,6 +212,151 @@ TEST_P(BitStringProperty, UintRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitStringProperty,
                          ::testing::Range<std::uint64_t>(0, 20));
+
+// --- Word-boundary cases for the word-at-a-time kernels -------------------
+// The interesting sizes straddle the 64-bit word seams and the inline-buffer
+// boundary (kInlineBits = 128): 63/64/65 exercise the first seam, 127/128/129
+// the transition from the small-buffer representation to the heap.
+
+class BitStringBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitStringBoundary, PushPopReadBack) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 977 + 1);
+  std::vector<bool> expect;
+  BitString bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool bit = rng.chance(0.5);
+    expect.push_back(bit);
+    bits.push_back(bit);
+  }
+  ASSERT_EQ(bits.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(bits[i], expect[i]) << i;
+  for (std::size_t i = n; i-- > 0;) {
+    bits.pop_back();
+    ASSERT_EQ(bits.size(), i);
+  }
+}
+
+TEST_P(BitStringBoundary, CopyAndEqualityAcrossRepresentations) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 7);
+  BitString bits;
+  for (std::size_t i = 0; i < n; ++i) bits.push_back(rng.chance(0.5));
+
+  const BitString copy = bits;
+  EXPECT_EQ(copy, bits);
+  EXPECT_EQ(copy.hash(), bits.hash());
+
+  BitString assigned;
+  assigned = bits;
+  EXPECT_EQ(assigned, bits);
+
+  BitString moved = std::move(assigned);
+  EXPECT_EQ(moved, bits);
+
+  if (n > 0) {
+    BitString flipped = bits;
+    flipped.set(n - 1, !bits[n - 1]);
+    EXPECT_NE(flipped, bits);
+  }
+}
+
+TEST_P(BitStringBoundary, PackedRoundTripAtSeams) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 131 + 3);
+  BitString bits;
+  for (std::size_t i = 0; i < n; ++i) bits.push_back(rng.chance(0.5));
+
+  std::vector<std::uint8_t> packed((n + 7) / 8);
+  bits.pack_msb(packed.data());
+  EXPECT_EQ(BitString::from_packed_msb(packed.data(), n), bits);
+}
+
+TEST_P(BitStringBoundary, SubstrStraddlingWordSeams) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 53 + 11);
+  std::string text;
+  BitString bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool bit = rng.chance(0.5);
+    bits.push_back(bit);
+    text.push_back(bit ? '1' : '0');
+  }
+  // Every cut around word multiples, plus full-width and empty cuts.
+  for (const std::size_t start :
+       {std::size_t{0}, std::size_t{1}, n / 2, n > 0 ? n - 1 : 0, n}) {
+    for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                            std::size_t{64}, std::size_t{65}, n}) {
+      if (start > n) continue;
+      len = std::min(len, n - start);
+      EXPECT_EQ(bits.substr(start, len).to_string(),
+                text.substr(start, len))
+          << "start=" << start << " len=" << len;
+    }
+  }
+}
+
+TEST_P(BitStringBoundary, AppendUnalignedAcrossSeams) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 17 + 29);
+  for (const std::size_t head_len : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{63}, std::size_t{64},
+                                     std::size_t{65}}) {
+    std::string text;
+    BitString head;
+    for (std::size_t i = 0; i < head_len; ++i) {
+      const bool bit = rng.chance(0.5);
+      head.push_back(bit);
+      text.push_back(bit ? '1' : '0');
+    }
+    BitString tail;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool bit = rng.chance(0.5);
+      tail.push_back(bit);
+      text.push_back(bit ? '1' : '0');
+    }
+    head.append(tail);
+    EXPECT_EQ(head.to_string(), text) << "head_len=" << head_len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordSeams, BitStringBoundary,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 129,
+                                           191, 192, 193));
+
+TEST(BitStringBoundary, SelfAppendCrossesInlineToHeap) {
+  // kInlineBits = 128: self-append at 65 bits lands on 130 > 128, forcing
+  // the small-buffer -> heap transition while `other` aliases `this`.
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    Rng rng(n);
+    std::string text;
+    BitString bits;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool bit = rng.chance(0.5);
+      bits.push_back(bit);
+      text.push_back(bit ? '1' : '0');
+    }
+    bits.append(bits);
+    EXPECT_EQ(bits.size(), 2 * n);
+    EXPECT_EQ(bits.to_string(), text + text) << "n=" << n;
+  }
+}
+
+TEST(BitStringBoundary, CommonPrefixAroundWordSeams) {
+  for (const std::size_t n : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    const BitString ones(n, true);
+    BitString other = ones;
+    EXPECT_EQ(ones.common_prefix_length(other), n);
+    other.set(n - 1, false);
+    EXPECT_EQ(ones.common_prefix_length(other), n - 1);
+    other = ones;
+    other.push_back(true);
+    EXPECT_EQ(ones.common_prefix_length(other), n);
+    EXPECT_TRUE(ones.is_prefix_of(other));
+    EXPECT_FALSE(other.is_prefix_of(ones));
+  }
+}
 
 }  // namespace
 }  // namespace agentloc::util

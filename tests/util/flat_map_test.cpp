@@ -1,0 +1,106 @@
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace agentloc::util {
+namespace {
+
+using Map = FlatMap<std::uint64_t, int, 0>;
+
+TEST(FlatMap, EmptyBehaviour) {
+  Map map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(7), nullptr);
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_FALSE(map.erase(7));
+  EXPECT_THROW(map.at(7), std::out_of_range);
+}
+
+TEST(FlatMap, EmplaceFindErase) {
+  Map map;
+  EXPECT_TRUE(map.emplace(5, 50));
+  EXPECT_FALSE(map.emplace(5, 99));  // second emplace loses
+  EXPECT_EQ(map.at(5), 50);
+  ASSERT_NE(map.find(5), nullptr);
+  EXPECT_EQ(*map.find(5), 50);
+  EXPECT_EQ(map.size(), 1u);
+
+  EXPECT_TRUE(map.erase(5));
+  EXPECT_FALSE(map.contains(5));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(FlatMap, SubscriptInsertsAndOverwrites) {
+  Map map;
+  map[3] = 30;
+  EXPECT_EQ(map.at(3), 30);
+  map[3] = 31;
+  EXPECT_EQ(map.at(3), 31);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map[8], 0);  // default-constructed on first touch
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, ClearKeepsCapacityDropsEntries) {
+  Map map;
+  for (std::uint64_t k = 1; k <= 100; ++k) map.emplace(k, static_cast<int>(k));
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  for (std::uint64_t k = 1; k <= 100; ++k) EXPECT_FALSE(map.contains(k));
+  map.emplace(42, 1);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, ReserveThenBulkInsert) {
+  Map map;
+  map.reserve(1000);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    EXPECT_TRUE(map.emplace(k, static_cast<int>(k * 2)));
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    EXPECT_EQ(map.at(k), static_cast<int>(k * 2));
+  }
+}
+
+/// Backward-shift deletion is the subtle part of linear probing; fuzz it
+/// against std::unordered_map with adversarially colliding small keys.
+TEST(FlatMap, RandomOpsAgreeWithUnorderedMap) {
+  Rng rng(1234);
+  Map map;
+  std::unordered_map<std::uint64_t, int> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = 1 + rng.next_below(64);  // heavy collisions
+    const auto roll = rng.next_below(10);
+    if (roll < 4) {
+      const int value = static_cast<int>(rng.next_below(1000));
+      EXPECT_EQ(map.emplace(key, value),
+                reference.emplace(key, value).second);
+    } else if (roll < 6) {
+      const int value = static_cast<int>(rng.next_below(1000));
+      map[key] = value;
+      reference[key] = value;
+    } else if (roll < 9) {
+      EXPECT_EQ(map.erase(key), reference.erase(key) > 0);
+    } else {
+      map.clear();
+      reference.clear();
+    }
+    ASSERT_EQ(map.size(), reference.size());
+    const std::uint64_t probe = 1 + rng.next_below(64);
+    const auto it = reference.find(probe);
+    const int* found = map.find(probe);
+    ASSERT_EQ(found != nullptr, it != reference.end());
+    if (found != nullptr) ASSERT_EQ(*found, it->second);
+  }
+}
+
+}  // namespace
+}  // namespace agentloc::util
