@@ -19,12 +19,16 @@ target_link_libraries(bench_hashtree_micro PRIVATE benchmark::benchmark)
 agentloc_add_bench(bench_sim_micro bench_sim_micro.cpp agentloc_sim)
 target_link_libraries(bench_sim_micro PRIVATE benchmark::benchmark)
 
+agentloc_add_bench(bench_platform_micro bench_platform_micro.cpp agentloc_core)
+target_link_libraries(bench_platform_micro PRIVATE benchmark::benchmark)
+
 agentloc_add_bench(bench_ablation_thresholds bench_ablation_thresholds.cpp agentloc_workload)
 agentloc_add_bench(bench_ablation_schemes bench_ablation_schemes.cpp agentloc_workload)
 agentloc_add_bench(bench_ablation_staleness bench_ablation_staleness.cpp agentloc_workload)
 agentloc_add_bench(bench_adaptation bench_adaptation.cpp agentloc_workload)
 agentloc_add_bench(bench_ablation_locality bench_ablation_locality.cpp agentloc_workload)
 agentloc_add_bench(bench_ablation_ids bench_ablation_ids.cpp agentloc_workload)
+agentloc_add_bench(bench_ablation_batching bench_ablation_batching.cpp agentloc_workload)
 agentloc_add_bench(bench_overhead bench_overhead.cpp agentloc_workload)
 agentloc_add_bench(bench_failover bench_failover.cpp agentloc_workload)
 agentloc_add_bench(bench_watch bench_watch.cpp agentloc_workload)

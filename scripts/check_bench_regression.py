@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against the committed reference.
+
+Matches rows by ``name`` and compares throughput (``items_per_second``;
+additionally the ``messages_per_sec`` headline in ``meta`` when both files
+carry it). A row regressing by more than the threshold is reported; with
+``--fail`` the script exits non-zero so CI can gate on it. Rows present only
+in the fresh run (new benchmarks) or only in the baseline (removed ones) are
+skipped — the gate watches throughput, not coverage.
+
+Usage:
+  check_bench_regression.py BASELINE FRESH [--threshold-pct=30] [--fail]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    rates = {}
+    meta = doc.get("meta", doc)
+    if isinstance(meta, dict) and "messages_per_sec" in meta:
+        rates["meta:messages_per_sec"] = float(meta["messages_per_sec"])
+    for row in doc.get("rows", []):
+        name = row.get("name")
+        rate = row.get("items_per_second")
+        if name is not None and rate is not None:
+            rates[name] = float(rate)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold-pct", type=float, default=30.0)
+    parser.add_argument(
+        "--fail",
+        action="store_true",
+        help="exit 1 on regression (default: warn only)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rates(args.baseline)
+    fresh = load_rates(args.fresh)
+    if not baseline:
+        print(f"no throughput entries in baseline {args.baseline}; skipping")
+        return 0
+
+    regressions = []
+    for name, base_rate in sorted(baseline.items()):
+        if name not in fresh or base_rate <= 0:
+            continue  # removed/renamed row, or nothing to compare against
+        new_rate = fresh[name]
+        delta_pct = 100.0 * (new_rate - base_rate) / base_rate
+        marker = ""
+        if delta_pct < -args.threshold_pct:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta_pct))
+        print(
+            f"{name}: {base_rate / 1e6:.2f}M -> {new_rate / 1e6:.2f}M items/s "
+            f"({delta_pct:+.1f}%){marker}"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold_pct:.0f}% vs {args.baseline}"
+        )
+        if args.fail:
+            return 1
+        print("(warn-only mode: not failing the build)")
+    else:
+        print(f"\nno regressions beyond {args.threshold_pct:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,8 +35,13 @@ HashLocationScheme::HashLocationScheme(platform::AgentSystem& system,
 
   lhagents_.reserve(system_.node_count());
   for (net::NodeId node = 0; node < system_.node_count(); ++node) {
-    lhagents_.push_back(&system_.create<LHAgent>(
-        node, coordinators, hagent_->tree(), config_.failover_threshold));
+    LHAgent& lhagent = system_.create<LHAgent>(
+        node, coordinators, hagent_->tree(), config_.failover_threshold);
+    if (config_.update_batching) {
+      lhagent.enable_update_batching(config_.batch_flush_interval,
+                                     config_.batch_max_entries);
+    }
+    lhagents_.push_back(&lhagent);
   }
 }
 
@@ -120,6 +125,13 @@ void HashLocationScheme::send_update(platform::AgentId self) {
   const auto node = system_.node_of(self);
   if (lhagent == nullptr || !node) return;  // moved on; next arrival reports
   const LocationEntry entry{self, *node, ++seqs_[self]};
+  if (config_.update_batching) {
+    // Hand the report to the co-located LHAgent (same-node IPC, free by the
+    // DESIGN.md §2 cost model); it coalesces reports from every local mover
+    // and flushes one BatchedUpdate per responsible IAgent.
+    lhagent->enqueue_update(entry);
+    return;
+  }
   system_.send(self, lhagent->resolve(self), UpdateRequest{entry},
                UpdateRequest::kWireBytes);
 }

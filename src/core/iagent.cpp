@@ -56,6 +56,8 @@ void IAgent::on_message(const platform::Message& message) {
     handle_register(message, *request);
   } else if (const auto* request = message.body_as<UpdateRequest>()) {
     handle_update(message, *request);
+  } else if (const auto* batch = message.body_as<BatchedUpdate>()) {
+    handle_batched_update(message, *batch);
   } else if (const auto* request = message.body_as<LocateRequest>()) {
     handle_locate(message, *request);
   } else if (const auto* request = message.body_as<WatchRequest>()) {
@@ -103,6 +105,34 @@ void IAgent::handle_update(const platform::Message& message,
   // Upsert: an update racing ahead of a handoff batch re-creates the entry
   // at the new owner, so handoff races self-heal.
   if (table_.apply(request.entry)) fire_watchers(request.entry);
+}
+
+void IAgent::handle_batched_update(const platform::Message& message,
+                                   const BatchedUpdate& batch) {
+  ++stats_.batched_updates;
+  stats_.updates += batch.entries.size();
+  // Entries this IAgent no longer answers for go back to the sending
+  // LHAgent in one nack (the batched analogue of NotResponsibleNotice);
+  // responsible entries apply under the usual newest-seq-wins rule, and
+  // each one still counts toward the load window — batching must not hide
+  // load from the Tmax/Tmin split logic.
+  BatchedUpdateNack nack;
+  for (const LocationEntry& entry : batch.entries) {
+    window_.record(entry.agent);
+    if (retiring_ || !responsible_for(entry.agent)) {
+      ++stats_.not_responsible_replies;
+      nack.entries.push_back(entry);
+      continue;
+    }
+    if (table_.apply(entry)) fire_watchers(entry);
+  }
+  if (!nack.entries.empty()) {
+    nack.version_hint = hash_version_;
+    const std::size_t bytes = nack.wire_bytes();
+    system().send(id(),
+                  platform::AgentAddress{message.from_node, message.from},
+                  std::move(nack), bytes);
+  }
 }
 
 void IAgent::handle_watch(const platform::Message& message,
@@ -171,6 +201,9 @@ void IAgent::handle_responsibility(const ResponsibilityUpdate& update) {
   if (update.version < hash_version_) return;  // stale coordinator message
   hash_version_ = update.version;
   predicate_ = update.predicate;
+  // Recompile at the receiving end: predicates travel by their wire form
+  // (valid_bits); the compiled (mask, value) pair is a local cache.
+  predicate_.compile();
   transient_until_ = system().now() + config_.transient_grace;
 
   if (!update.has_transfer) {
@@ -178,7 +211,9 @@ void IAgent::handle_responsibility(const ResponsibilityUpdate& update) {
                   RehashDone::kWireBytes);
     return;
   }
-  auto entries = table_.extract_matching(update.transfer_predicate);
+  Predicate transfer = update.transfer_predicate;
+  transfer.compile();
+  auto entries = table_.extract_matching(transfer);
   const std::uint64_t version = hash_version_;
   push_entries(update.transfer_to, std::move(entries), [this, version] {
     system().send(id(), hagent_, RehashDone{version},
@@ -204,12 +239,18 @@ void IAgent::handle_retire(const RetireOrder& order) {
   watchers_.clear();  // watchers re-arm via their client-side timeout
 
   // Partition the table across the routes (each entry matches exactly one
-  // leaf predicate of the new hash function).
+  // leaf predicate of the new hash function). Recompile the route
+  // predicates first — they arrive in wire form.
+  std::vector<Predicate> route_predicates(order.routes.size());
+  for (std::size_t r = 0; r < order.routes.size(); ++r) {
+    route_predicates[r] = order.routes[r].predicate;
+    route_predicates[r].compile();
+  }
   auto entries = table_.extract_all();
   std::vector<std::vector<LocationEntry>> batches(order.routes.size());
   for (const LocationEntry& entry : entries) {
     for (std::size_t r = 0; r < order.routes.size(); ++r) {
-      if (order.routes[r].predicate.matches(entry.agent)) {
+      if (route_predicates[r].matches(entry.agent)) {
         batches[r].push_back(entry);
         break;
       }

@@ -16,7 +16,8 @@ namespace agentloc::core {
 /// Counters exposed for tests and benches.
 struct IAgentStats {
   std::uint64_t registers = 0;
-  std::uint64_t updates = 0;
+  std::uint64_t updates = 0;          ///< update entries applied or refused
+  std::uint64_t batched_updates = 0;  ///< BatchedUpdate messages received
   std::uint64_t locates = 0;
   std::uint64_t not_responsible_replies = 0;
   std::uint64_t transient_replies = 0;
@@ -84,6 +85,8 @@ class IAgent : public platform::Agent {
                        const RegisterRequest& request);
   void handle_update(const platform::Message& message,
                      const UpdateRequest& request);
+  void handle_batched_update(const platform::Message& message,
+                             const BatchedUpdate& batch);
   void handle_locate(const platform::Message& message,
                      const LocateRequest& request);
   void handle_watch(const platform::Message& message,

@@ -40,6 +40,46 @@ void LHAgent::on_start() {
   system().register_service(node(), "lhagent", id());
 }
 
+void LHAgent::on_message(const platform::Message& message) {
+  if (const auto* nack = message.body_as<BatchedUpdateNack>()) {
+    // A flushed batch reached an IAgent that no longer serves (some of)
+    // its entries: the batched analogue of paper §4.3 trigger (i). Refresh
+    // the copy, then re-enqueue so the next flush re-resolves them.
+    ++stats_.update_nacks;
+    std::vector<LocationEntry> entries = nack->entries;
+    refresh([this, entries = std::move(entries)] {
+      if (batcher_ != nullptr) batcher_->requeue(entries);
+    });
+  }
+}
+
+void LHAgent::on_delivery_failure(const platform::DeliveryFailure& failure) {
+  (void)failure;
+  if (batcher_ == nullptr) return;  // nothing batched could have bounced
+  // A batch chased an IAgent that migrated or retired. Refresh the copy;
+  // the lost entries self-heal on each mover's next report, exactly like a
+  // lost one-way UpdateRequest.
+  ++stats_.batch_bounces;
+  refresh([] {});
+}
+
+void LHAgent::enable_update_batching(sim::SimTime flush_interval,
+                                     std::size_t max_entries) {
+  batcher_ = std::make_unique<UpdateBatcher>(*this, system(), flush_interval,
+                                             max_entries);
+}
+
+void LHAgent::enqueue_update(const LocationEntry& entry) {
+  if (batcher_ != nullptr) {
+    batcher_->enqueue(entry);
+    return;
+  }
+  // Batching not enabled: behave like the classic path, one message per
+  // report, so callers need not special-case the configuration.
+  system().send(id(), resolve(entry.agent), UpdateRequest{entry},
+                UpdateRequest::kWireBytes);
+}
+
 platform::AgentAddress LHAgent::resolve(platform::AgentId agent) {
   ++stats_.resolves;
   const auto target = tree_.lookup_id(agent);

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/update_batcher.hpp"
 #include "hashtree/tree.hpp"
 #include "platform/agent.hpp"
 
@@ -19,6 +21,8 @@ struct LHAgentStats {
   std::uint64_t delta_refreshes = 0;
   std::uint64_t delta_fallbacks = 0;  ///< delta failed; re-pulled full
   std::uint64_t failovers = 0;        ///< switched to another coordinator
+  std::uint64_t update_nacks = 0;     ///< BatchedUpdateNacks received
+  std::uint64_t batch_bounces = 0;    ///< BatchedUpdates that bounced
 };
 
 /// Local Hash Agent (paper §2.2): the stationary per-node agent holding a
@@ -46,6 +50,8 @@ class LHAgent : public platform::Agent {
   std::string kind() const override { return "lhagent"; }
 
   void on_start() override;
+  void on_message(const platform::Message& message) override;
+  void on_delivery_failure(const platform::DeliveryFailure& failure) override;
 
   /// Map an agent id to (believed) responsible IAgent and its (believed)
   /// node. Pure local computation on the secondary copy.
@@ -60,6 +66,19 @@ class LHAgent : public platform::Agent {
   /// failure — the caller retries end-to-end). Coalesces concurrent calls.
   void refresh(std::function<void()> done);
 
+  /// --- Update batching (opt-in; DESIGN.md §10) --------------------------
+  /// Install a batcher so co-located movers report through `enqueue_update`
+  /// instead of one wire message each. Call after creation (the scheme does
+  /// this when `MechanismConfig::update_batching` is set).
+  void enable_update_batching(sim::SimTime flush_interval,
+                              std::size_t max_entries);
+
+  /// Hand one location report to the batcher (falls back to an immediate
+  /// single-entry batch when batching is not enabled).
+  void enqueue_update(const LocationEntry& entry);
+
+  UpdateBatcher* batcher() noexcept { return batcher_.get(); }
+
  private:
   void pull(bool force_full);
   void finish_pull();
@@ -73,6 +92,7 @@ class LHAgent : public platform::Agent {
   hashtree::HashTree tree_;
   bool pull_in_flight_ = false;
   std::vector<std::function<void()>> waiters_;
+  std::unique_ptr<UpdateBatcher> batcher_;
   LHAgentStats stats_;
 };
 

@@ -25,9 +25,48 @@ struct LocationEntry {
 /// IAgent "checks whether it is still responsible" (paper §2.3) without
 /// holding the whole tree.
 struct Predicate {
+  /// Wire/debug form: the hyper-label's valid (position, bit) pairs.
   std::vector<std::pair<std::uint32_t, bool>> valid_bits;
 
+  /// Compiled form, built once by `compile()`: an id matches iff
+  /// `(id & mask) == value`. Positions beyond the 64 id bits demand padding
+  /// bits the id cannot supply, and conflicting duplicate positions demand
+  /// two values at once — either makes the predicate `impossible`.
+  std::uint64_t mask = 0;
+  std::uint64_t value = 0;
+  bool impossible = false;
+
+  /// Distil `valid_bits` into the (mask, value) pair. Idempotent; called by
+  /// `predicate_of` and by every receiver of a predicate-carrying message,
+  /// so hand-built test predicates must call it too.
+  void compile() noexcept {
+    mask = 0;
+    value = 0;
+    impossible = false;
+    for (const auto& [position, bit] : valid_bits) {
+      if (position >= 64) {
+        if (bit) impossible = true;
+        continue;
+      }
+      const std::uint64_t bit_mask = 1ull << (63 - position);
+      const std::uint64_t bit_value = bit ? bit_mask : 0;
+      if ((mask & bit_mask) != 0 && (value & bit_mask) != bit_value) {
+        impossible = true;
+      }
+      mask |= bit_mask;
+      value |= bit_value;
+    }
+  }
+
+  /// Responsibility test on the hot paths (every update, locate and handoff
+  /// routing decision): one AND plus one compare.
   bool matches(platform::AgentId id) const noexcept {
+    return !impossible && (id & mask) == value;
+  }
+
+  /// Reference semantics, straight off the wire form. Kept as the oracle
+  /// for the compile() equivalence test.
+  bool matches_scan(platform::AgentId id) const noexcept {
     for (const auto& [position, bit] : valid_bits) {
       const bool id_bit =
           position < 64 && ((id >> (63 - position)) & 1u) != 0;
@@ -101,6 +140,26 @@ struct WatchRequest {
 struct WatchNotify {
   LocationEntry entry;
   static constexpr std::size_t kWireBytes = 40;
+};
+
+/// LHAgent → IAgent (update-batching extension, DESIGN.md §10): several
+/// co-located agents' location reports coalesced into one wire message. The
+/// receiver applies each entry under the usual newest-seq-wins rule, so a
+/// batch is semantically identical to its member `UpdateRequest`s — it just
+/// pays one message and one service slot instead of N.
+struct BatchedUpdate {
+  std::vector<LocationEntry> entries;
+  std::size_t wire_bytes() const noexcept { return 24 + 20 * entries.size(); }
+};
+
+/// IAgent → LHAgent: the subset of a `BatchedUpdate` the receiver is not
+/// responsible for (the batched analogue of `NotResponsibleNotice`). The
+/// LHAgent refreshes its hash copy and re-enqueues the entries, so they ride
+/// the next flush to the right IAgent.
+struct BatchedUpdateNack {
+  std::vector<LocationEntry> entries;
+  std::uint64_t version_hint = 0;
+  std::size_t wire_bytes() const noexcept { return 24 + 20 * entries.size(); }
 };
 
 /// A mobile agent leaving the system.

@@ -8,55 +8,54 @@ Predicate predicate_of(const hashtree::HashTree& tree,
   // path — no hyper-label segments are materialized.
   Predicate predicate;
   predicate.valid_bits = tree.valid_bits(leaf);
+  predicate.compile();
   return predicate;
 }
 
 bool LocationTable::apply(const LocationEntry& entry) {
-  // Single hash probe: try_emplace either inserts or hands back the existing
-  // slot, instead of a find followed by a second operator[] lookup.
-  const auto [it, inserted] =
-      entries_.try_emplace(entry.agent, Stored{entry.node, entry.seq});
-  if (inserted) return true;
-  if (it->second.seq >= entry.seq) return false;
-  it->second = Stored{entry.node, entry.seq};
+  if (Stored* stored = entries_.find(entry.agent)) {
+    if (stored->seq >= entry.seq) return false;
+    *stored = Stored{entry.node, entry.seq};
+    return true;
+  }
+  entries_.emplace(entry.agent, Stored{entry.node, entry.seq});
   return true;
 }
 
 bool LocationTable::remove(platform::AgentId agent, std::uint64_t seq) {
-  const auto it = entries_.find(agent);
-  if (it == entries_.end() || it->second.seq > seq) return false;
-  entries_.erase(it);
+  const Stored* stored = entries_.find(agent);
+  if (stored == nullptr || stored->seq > seq) return false;
+  entries_.erase(agent);
   return true;
 }
 
 std::optional<LocationEntry> LocationTable::find(
     platform::AgentId agent) const {
-  const auto it = entries_.find(agent);
-  if (it == entries_.end()) return std::nullopt;
-  return LocationEntry{agent, it->second.node, it->second.seq};
+  const Stored* stored = entries_.find(agent);
+  if (stored == nullptr) return std::nullopt;
+  return LocationEntry{agent, stored->node, stored->seq};
 }
 
 std::vector<LocationEntry> LocationTable::extract_matching(
     const Predicate& predicate) {
+  // Collect first, erase after: FlatMap iteration must not race its own
+  // backward-shift deletion.
   std::vector<LocationEntry> extracted;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (predicate.matches(it->first)) {
-      extracted.push_back(LocationEntry{it->first, it->second.node,
-                                        it->second.seq});
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  entries_.for_each([&](platform::AgentId agent, const Stored& stored) {
+    if (predicate.matches(agent)) {
+      extracted.push_back(LocationEntry{agent, stored.node, stored.seq});
     }
-  }
+  });
+  for (const LocationEntry& entry : extracted) entries_.erase(entry.agent);
   return extracted;
 }
 
 std::vector<LocationEntry> LocationTable::extract_all() {
   std::vector<LocationEntry> extracted;
   extracted.reserve(entries_.size());
-  for (const auto& [agent, stored] : entries_) {
+  entries_.for_each([&](platform::AgentId agent, const Stored& stored) {
     extracted.push_back(LocationEntry{agent, stored.node, stored.seq});
-  }
+  });
   entries_.clear();
   return extracted;
 }
@@ -64,9 +63,9 @@ std::vector<LocationEntry> LocationTable::extract_all() {
 std::vector<LocationEntry> LocationTable::snapshot() const {
   std::vector<LocationEntry> out;
   out.reserve(entries_.size());
-  for (const auto& [agent, stored] : entries_) {
+  entries_.for_each([&](platform::AgentId agent, const Stored& stored) {
     out.push_back(LocationEntry{agent, stored.node, stored.seq});
-  }
+  });
   return out;
 }
 
@@ -77,8 +76,8 @@ void LoadWindow::record(platform::AgentId agent) {
 
 void LoadWindow::roll() {
   closed_counts_ = std::move(open_counts_);
+  open_counts_.clear();  // restore a consistent (empty) moved-from state
   closed_total_ = open_total_;
-  open_counts_.clear();
   open_total_ = 0;
   ++rolls_;
 }
@@ -91,9 +90,9 @@ double LoadWindow::rate() const noexcept {
 std::vector<AgentLoad> LoadWindow::loads() const {
   std::vector<AgentLoad> out;
   out.reserve(closed_counts_.size());
-  for (const auto& [agent, count] : closed_counts_) {
+  closed_counts_.for_each([&](platform::AgentId agent, std::uint32_t count) {
     out.push_back(AgentLoad{agent, count});
-  }
+  });
   return out;
 }
 

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/protocol.hpp"
 #include "sim/time.hpp"
+#include "util/flat_map.hpp"
 
 namespace agentloc::core {
 
@@ -14,6 +14,11 @@ namespace agentloc::core {
 ///
 /// All mutations are sequence-checked so reordered or duplicated updates
 /// cannot roll a location back (see `LocationEntry::seq`).
+///
+/// Backed by `util::FlatMap`: the table is probed on every update, locate and
+/// handoff scan, and the node-per-entry layout of `std::unordered_map` made
+/// those probes (and bulk extract/clear during rehashes) allocator-bound.
+/// `kNoAgent` (0) is the vacant-slot marker; the platform never allocates it.
 class LocationTable {
  public:
   /// Insert or update; returns false when `entry.seq` is not newer than the
@@ -44,10 +49,10 @@ class LocationTable {
 
  private:
   struct Stored {
-    net::NodeId node;
-    std::uint64_t seq;
+    net::NodeId node = net::kNoNode;
+    std::uint64_t seq = 0;
   };
-  std::unordered_map<platform::AgentId, Stored> entries_;
+  util::FlatMap<platform::AgentId, Stored, platform::kNoAgent> entries_;
 };
 
 /// Windowed request-rate statistics (paper §4: "we maintain running
@@ -81,10 +86,13 @@ class LoadWindow {
   std::uint64_t rolls() const noexcept { return rolls_; }
 
  private:
+  using Counts = util::FlatMap<platform::AgentId, std::uint32_t,
+                               platform::kNoAgent>;
+
   sim::SimTime window_;
-  std::unordered_map<platform::AgentId, std::uint32_t> open_counts_;
+  Counts open_counts_;
   std::uint64_t open_total_ = 0;
-  std::unordered_map<platform::AgentId, std::uint32_t> closed_counts_;
+  Counts closed_counts_;
   std::uint64_t closed_total_ = 0;
   std::uint64_t rolls_ = 0;
 };

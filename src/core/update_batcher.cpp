@@ -1,0 +1,95 @@
+#include "core/update_batcher.hpp"
+
+#include <utility>
+
+#include "core/lhagent.hpp"
+#include "platform/agent_system.hpp"
+
+namespace agentloc::core {
+
+UpdateBatcher::UpdateBatcher(LHAgent& owner, platform::AgentSystem& system,
+                             sim::SimTime flush_interval,
+                             std::size_t max_entries)
+    : owner_(owner),
+      system_(system),
+      flush_interval_(flush_interval),
+      max_entries_(max_entries == 0 ? 1 : max_entries),
+      timer_(system.simulator()) {}
+
+void UpdateBatcher::enqueue(const LocationEntry& entry) {
+  ++stats_.enqueued;
+  if (const std::uint32_t* position = index_.find(entry.agent)) {
+    // The agent moved again before its previous report flushed: keep only
+    // the newest location (same rule the IAgent's table applies), saving a
+    // wire entry on top of the per-message saving.
+    LocationEntry& existing = pending_[*position];
+    if (entry.seq >= existing.seq) existing = entry;
+    ++stats_.replaced;
+    ++replaced_since_flush_;
+    return;
+  }
+  index_.emplace(entry.agent,
+                 static_cast<std::uint32_t>(pending_.size()));
+  pending_.push_back(entry);
+  if (pending_.size() >= max_entries_) {
+    flush();
+    return;
+  }
+  arm_timer();
+}
+
+void UpdateBatcher::requeue(const std::vector<LocationEntry>& entries) {
+  stats_.requeued += entries.size();
+  for (const LocationEntry& entry : entries) enqueue(entry);
+}
+
+void UpdateBatcher::arm_timer() {
+  if (timer_.pending()) return;
+  timer_.arm(flush_interval_, [this] { flush(); });
+}
+
+void UpdateBatcher::flush() {
+  timer_.cancel();
+  if (pending_.empty()) return;
+
+  // Resolve targets now — not at enqueue time — so a hash-copy refresh that
+  // happened while entries waited redirects the whole batch. Group by
+  // target in first-seen order; a node talks to a handful of IAgents per
+  // window, so a linear scan beats any map.
+  std::vector<std::pair<platform::AgentAddress, BatchedUpdate>> batches;
+  for (const LocationEntry& entry : pending_) {
+    const platform::AgentAddress target = owner_.resolve(entry.agent);
+    BatchedUpdate* batch = nullptr;
+    for (auto& [address, candidate] : batches) {
+      if (address.agent == target.agent && address.node == target.node) {
+        batch = &candidate;
+        break;
+      }
+    }
+    if (batch == nullptr) {
+      batches.emplace_back(target, BatchedUpdate{});
+      batch = &batches.back().second;
+    }
+    batch->entries.push_back(entry);
+  }
+  pending_.clear();
+  index_.clear();
+
+  std::uint64_t overwrites = replaced_since_flush_;
+  replaced_since_flush_ = 0;
+
+  for (auto& [target, batch] : batches) {
+    ++stats_.batches_sent;
+    stats_.entries_sent += batch.entries.size();
+    // Every entry beyond the first rode this batch instead of paying for an
+    // UpdateRequest of its own; newest-wins overwrites saved a message too.
+    const std::uint64_t coalesced =
+        static_cast<std::uint64_t>(batch.entries.size()) - 1 + overwrites;
+    overwrites = 0;
+    system_.note_batch_flush(coalesced);
+    const std::size_t bytes = batch.wire_bytes();
+    system_.send(owner_.id(), target, std::move(batch), bytes);
+  }
+}
+
+}  // namespace agentloc::core

@@ -22,36 +22,44 @@ Network::Network(sim::Simulator& simulator, std::size_t node_count,
 
 bool Network::send(NodeId from, NodeId to, std::size_t bytes,
                    std::function<void()> deliver) {
+  const TransmitPlan plan = plan_transmission(from, to, bytes);
+  for (int copy = 0; copy < plan.copies; ++copy) {
+    simulator_.schedule_after(plan.delay[copy], [this, to, deliver] {
+      note_delivered(to);
+      deliver();
+    });
+  }
+  return plan.copies > 0;
+}
+
+TransmitPlan Network::plan_transmission(NodeId from, NodeId to,
+                                        std::size_t bytes) {
   if (from >= node_count_ || to >= node_count_) {
     throw std::out_of_range("Network::send: node id out of range");
   }
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
 
+  TransmitPlan plan;
   if (from != to && faults_.partitioned(from, to)) {
     ++stats_.messages_dropped;
-    return false;
+    return plan;
   }
+  // RNG draw order (drop, latency, duplicate, latency) is part of the
+  // determinism contract — seeded runs must replay identically whether the
+  // caller goes through `send` or schedules its own deliveries.
   if (from != to && rng_.chance(faults_.drop_probability)) {
     ++stats_.messages_dropped;
-    return false;
+    return plan;
   }
-  schedule_delivery(from, to, bytes, deliver);
+  plan.delay[0] = latency_->latency(from, to, bytes, rng_);
+  plan.copies = 1;
   if (from != to && rng_.chance(faults_.duplicate_probability)) {
     ++stats_.messages_duplicated;
-    schedule_delivery(from, to, bytes, deliver);
+    plan.delay[1] = latency_->latency(from, to, bytes, rng_);
+    plan.copies = 2;
   }
-  return true;
-}
-
-void Network::schedule_delivery(NodeId from, NodeId to, std::size_t bytes,
-                                const std::function<void()>& deliver) {
-  const sim::SimTime delay = latency_->latency(from, to, bytes, rng_);
-  simulator_.schedule_after(delay, [this, to, deliver] {
-    ++stats_.messages_delivered;
-    ++per_node_delivered_[to];
-    deliver();
-  });
+  return plan;
 }
 
 }  // namespace agentloc::net

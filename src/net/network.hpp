@@ -49,6 +49,13 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;
 };
 
+/// Outcome of planning one transmission: how many copies the fault plan let
+/// through (0 = swallowed, 2 = duplicated) and the sampled latency of each.
+struct TransmitPlan {
+  int copies = 0;
+  sim::SimTime delay[2] = {sim::SimTime::zero(), sim::SimTime::zero()};
+};
+
 /// Simulated datagram network.
 ///
 /// `send` charges the latency model for the serialized size and schedules the
@@ -56,6 +63,12 @@ struct NetworkStats {
 /// its typed message inside the thunk, so this layer stays payload-agnostic.
 /// Delivery is unordered (jitter may reorder) and, under a fault plan,
 /// unreliable — exactly the properties the location protocol must tolerate.
+///
+/// Hot-path callers that cannot afford a `std::function` capture (the agent
+/// platform's message plane) use `plan_transmission` + `note_delivered`
+/// instead: the network samples faults and latency in exactly the same RNG
+/// order as `send`, but the caller schedules its own (small, allocation-free)
+/// delivery events.
 class Network {
  public:
   Network(sim::Simulator& simulator, std::size_t node_count,
@@ -69,6 +82,18 @@ class Network {
   bool send(NodeId from, NodeId to, std::size_t bytes,
             std::function<void()> deliver);
 
+  /// Sample the fault plan and latency model for one transmission, counting
+  /// it in the stats, without scheduling anything. The caller must schedule
+  /// `plan.copies` deliveries at the given delays and call `note_delivered`
+  /// as each one fires.
+  TransmitPlan plan_transmission(NodeId from, NodeId to, std::size_t bytes);
+
+  /// Record one delivery planned via `plan_transmission`.
+  void note_delivered(NodeId to) noexcept {
+    ++stats_.messages_delivered;
+    ++per_node_delivered_[to];
+  }
+
   FaultPlan& faults() noexcept { return faults_; }
   const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = NetworkStats{}; }
@@ -79,9 +104,6 @@ class Network {
   }
 
  private:
-  void schedule_delivery(NodeId from, NodeId to, std::size_t bytes,
-                         const std::function<void()>& deliver);
-
   sim::Simulator& simulator_;
   std::size_t node_count_;
   std::unique_ptr<LatencyModel> latency_;

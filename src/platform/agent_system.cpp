@@ -1,7 +1,9 @@
 #include "platform/agent_system.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <stdexcept>
+#include <type_traits>
 
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -33,6 +35,41 @@ AgentId AgentSystem::allocate_id() {
   }
 }
 
+std::uint32_t AgentSystem::acquire_slot() {
+  if (in_flight_free_ != kNoSlot) {
+    const std::uint32_t slot = in_flight_free_;
+    in_flight_free_ = in_flight_[slot].next;
+    return slot;
+  }
+  in_flight_.emplace_back();
+  return static_cast<std::uint32_t>(in_flight_.size() - 1);
+}
+
+void AgentSystem::release_slot(std::uint32_t slot) noexcept {
+  in_flight_[slot].next = in_flight_free_;
+  in_flight_free_ = slot;
+}
+
+util::RingBuffer<Message> AgentSystem::acquire_inbox() {
+  if (inbox_pool_.empty()) return {};
+  util::RingBuffer<Message> inbox = std::move(inbox_pool_.back());
+  inbox_pool_.pop_back();
+  return inbox;
+}
+
+void AgentSystem::recycle_inbox(util::RingBuffer<Message>&& inbox) {
+  if (inbox.capacity() == 0) return;  // nothing warmed up, nothing to keep
+  if (inbox_pool_.size() >= kMaxPooledInboxes) return;  // let it free
+  inbox_pool_.push_back(std::move(inbox));
+}
+
+void AgentSystem::drain_inbox_bouncing(Record& record) {
+  while (!record.inbox.empty()) {
+    const Message message = record.inbox.pop_front();
+    bounce(message);
+  }
+}
+
 void AgentSystem::install(std::unique_ptr<Agent> owned, net::NodeId node) {
   if (node >= network_.node_count()) {
     throw std::out_of_range("AgentSystem::create: node out of range");
@@ -44,46 +81,56 @@ void AgentSystem::install(std::unique_ptr<Agent> owned, net::NodeId node) {
 
   Record record;
   record.agent = std::move(owned);
+  record.inbox = acquire_inbox();
   const AgentId id = agent.id();
   const std::uint64_t epoch = record.epoch;
   records_.emplace(id, std::move(record));
+  ++records_version_;
   ++stats_.agents_created;
 
   simulator_.schedule_after(sim::SimTime::zero(), [this, id, epoch] {
-    const auto it = records_.find(id);
-    if (it == records_.end() || it->second.epoch != epoch) return;
-    it->second.agent->on_start();
+    Record* record = records_.find(id);
+    if (record == nullptr || record->epoch != epoch) return;
+    record->agent->on_start();
   });
 }
 
 void AgentSystem::dispose(AgentId id) {
-  const auto it = records_.find(id);
-  if (it == records_.end()) return;
-  Record& record = it->second;
-  ++record.epoch;
+  Record* found = records_.find(id);
+  if (found == nullptr || found->disposing) return;
+  found->disposing = true;  // reentrant dispose(id) becomes a no-op
+  ++found->epoch;
 
   // Queued messages can no longer be served; bounce them to their senders.
-  for (Message& message : record.inbox) bounce(message);
-  record.inbox.clear();
+  // The inbox moves to a local buffer first — bounce only transmits, but
+  // FlatMap references would not survive the callbacks below.
+  util::RingBuffer<Message> inbox = std::move(found->inbox);
+  while (!inbox.empty()) {
+    const Message message = inbox.pop_front();
+    bounce(message);
+  }
+  recycle_inbox(std::move(inbox));
 
+  // The dropped-RPC callbacks and on_dispose may create or dispose other
+  // agents, which rehashes or back-shifts records_ — re-find after each.
   drop_rpcs_from(id);
 
+  Record* record = records_.find(id);
   // Remove any service registrations pointing at the agent.
-  const net::NodeId node = record.agent->node();
-  if (node < services_.size()) {
-    auto& local = services_[node];
-    for (auto sit = local.begin(); sit != local.end();) {
-      sit = sit->second == id ? local.erase(sit) : std::next(sit);
-    }
-  }
+  unregister_agent_services(record->agent->node(), id);
 
-  record.agent->on_dispose();
-  record.agent->system_ = nullptr;
+  // The contract protocol teardown relies on: on_dispose runs before
+  // removal, so the agent can still send (e.g. deregister itself).
+  record->agent->on_dispose();
+
+  record = records_.find(id);
+  record->agent->system_ = nullptr;
 
   // The agent may be disposing itself from inside one of its own callbacks;
   // defer destruction until the stack unwinds.
-  graveyard_.push_back(std::move(record.agent));
-  records_.erase(it);
+  graveyard_.push_back(std::move(record->agent));
+  records_.erase(id);
+  ++records_version_;
   ++stats_.agents_disposed;
   if (!graveyard_sweep_scheduled_) {
     graveyard_sweep_scheduled_ = true;
@@ -98,11 +145,11 @@ void AgentSystem::migrate(AgentId id, net::NodeId destination) {
   if (destination >= network_.node_count()) {
     throw std::out_of_range("AgentSystem::migrate: node out of range");
   }
-  const auto it = records_.find(id);
-  if (it == records_.end()) {
+  Record* found = records_.find(id);
+  if (found == nullptr) {
     throw std::logic_error("AgentSystem::migrate: unknown agent");
   }
-  Record& record = it->second;
+  Record& record = *found;
   if (record.state != State::kActive) {
     throw std::logic_error("AgentSystem::migrate: agent already in transit");
   }
@@ -111,14 +158,11 @@ void AgentSystem::migrate(AgentId id, net::NodeId destination) {
   ++record.epoch;
   record.state = State::kInTransit;
   record.serving = false;
-  for (Message& message : record.inbox) bounce(message);
-  record.inbox.clear();
+  drain_inbox_bouncing(record);
+  recycle_inbox(std::move(record.inbox));
 
   // A mobile service provider leaves its registrations behind.
-  auto& local = services_[source];
-  for (auto sit = local.begin(); sit != local.end();) {
-    sit = sit->second == id ? local.erase(sit) : std::next(sit);
-  }
+  unregister_agent_services(source, id);
 
   record.agent->node_ = net::kNoNode;
   ++stats_.migrations_started;
@@ -131,16 +175,16 @@ void AgentSystem::ship_migration(AgentId id, std::uint64_t epoch,
                                  std::size_t bytes) {
   const bool sent = network_.send(
       source, destination, bytes, [this, id, epoch, source, destination] {
-        const auto it = records_.find(id);
-        if (it == records_.end() || it->second.epoch != epoch) return;
-        Record& record = it->second;
+        Record* record = records_.find(id);
+        if (record == nullptr || record->epoch != epoch) return;
         // A fault plan may duplicate the transfer; only the first copy
         // installs the agent.
-        if (record.state != State::kInTransit) return;
-        record.state = State::kActive;
-        record.agent->node_ = destination;
+        if (record->state != State::kInTransit) return;
+        record->state = State::kActive;
+        record->agent->node_ = destination;
+        record->inbox = acquire_inbox();
         ++stats_.migrations_completed;
-        record.agent->on_arrival(source);
+        record->agent->on_arrival(source);
       });
   if (!sent) {
     // Migration rides reliable transport: retry until the fault plan lets
@@ -148,36 +192,37 @@ void AgentSystem::ship_migration(AgentId id, std::uint64_t epoch,
     simulator_.schedule_after(
         config_.migration_retry,
         [this, id, epoch, source, destination, bytes] {
-          const auto it = records_.find(id);
-          if (it == records_.end() || it->second.epoch != epoch) return;
+          Record* record = records_.find(id);
+          if (record == nullptr || record->epoch != epoch) return;
           ship_migration(id, epoch, source, destination, bytes);
         });
   }
 }
 
-void AgentSystem::send(AgentId from, const AgentAddress& to, std::any body,
-                       std::size_t wire_bytes) {
-  const auto it = records_.find(from);
-  if (it == records_.end() || it->second.state != State::kActive) {
+void AgentSystem::send(AgentId from, const AgentAddress& to,
+                       util::PayloadBox body, std::size_t wire_bytes) {
+  const Record* sender = records_.find(from);
+  if (sender == nullptr || sender->state != State::kActive) {
     throw std::logic_error("AgentSystem::send: sender not active");
   }
   Message message;
   message.from = from;
-  message.from_node = it->second.agent->node();
+  message.from_node = sender->agent->node();
   message.to = to.agent;
   message.wire_bytes = wire_bytes;
   message.body = std::move(body);
   transmit(std::move(message), to.node);
 }
 
-void AgentSystem::request(AgentId from, const AgentAddress& to, std::any body,
-                          std::size_t wire_bytes,
-                          std::function<void(RpcResult)> callback,
+void AgentSystem::request(AgentId from, const AgentAddress& to,
+                          util::PayloadBox body, std::size_t wire_bytes,
+                          RpcCallback callback,
                           std::optional<sim::SimTime> timeout) {
-  const auto it = records_.find(from);
-  if (it == records_.end() || it->second.state != State::kActive) {
+  const Record* sender = records_.find(from);
+  if (sender == nullptr || sender->state != State::kActive) {
     throw std::logic_error("AgentSystem::request: sender not active");
   }
+  const net::NodeId from_node = sender->agent->node();
   const std::uint64_t correlation = ++correlation_counter_;
 
   PendingRpc pending;
@@ -185,20 +230,20 @@ void AgentSystem::request(AgentId from, const AgentAddress& to, std::any body,
   pending.callback = std::move(callback);
   pending.timeout_event = simulator_.schedule_after(
       timeout.value_or(config_.default_rpc_timeout), [this, correlation] {
-        const auto pit = pending_rpcs_.find(correlation);
-        if (pit == pending_rpcs_.end()) return;
-        auto cb = std::move(pit->second.callback);
-        pending_rpcs_.erase(pit);
+        PendingRpc* rpc = pending_rpcs_.find(correlation);
+        if (rpc == nullptr) return;
+        RpcCallback cb = std::move(rpc->callback);
+        pending_rpcs_.erase(correlation);
         ++stats_.rpc_timeouts;
         RpcResult result;
         result.status = RpcResult::Status::kTimeout;
-        cb(result);
+        cb(std::move(result));
       });
   pending_rpcs_.emplace(correlation, std::move(pending));
 
   Message message;
   message.from = from;
-  message.from_node = it->second.agent->node();
+  message.from_node = from_node;
   message.to = to.agent;
   message.correlation = correlation;
   message.wire_bytes = wire_bytes;
@@ -206,15 +251,15 @@ void AgentSystem::request(AgentId from, const AgentAddress& to, std::any body,
   transmit(std::move(message), to.node);
 }
 
-void AgentSystem::reply(const Message& request, AgentId from, std::any body,
-                        std::size_t wire_bytes) {
-  const auto it = records_.find(from);
-  if (it == records_.end() || it->second.state != State::kActive) {
+void AgentSystem::reply(const Message& request, AgentId from,
+                        util::PayloadBox body, std::size_t wire_bytes) {
+  const Record* sender = records_.find(from);
+  if (sender == nullptr || sender->state != State::kActive) {
     throw std::logic_error("AgentSystem::reply: sender not active");
   }
   Message message;
   message.from = from;
-  message.from_node = it->second.agent->node();
+  message.from_node = sender->agent->node();
   message.to = request.from;
   message.correlation = request.correlation;
   message.is_reply = true;
@@ -224,26 +269,106 @@ void AgentSystem::reply(const Message& request, AgentId from, std::any body,
 }
 
 void AgentSystem::transmit(Message message, net::NodeId to_node) {
+  static_assert(sizeof(DeliveryEvent) <= 16, "delivery event must stay tiny");
+  static_assert(std::is_trivially_copyable_v<DeliveryEvent>,
+                "delivery event must be memcpy-relocatable");
+  static_assert(sizeof(BurstEvent) <= 16 &&
+                    std::is_trivially_copyable_v<BurstEvent>,
+                "burst event must stay tiny and memcpy-relocatable");
   ++stats_.messages_sent;
-  network_.send(message.from_node, to_node, message.wire_bytes,
-                [this, to_node, message = std::move(message)] {
-                  deliver(to_node, message);
-                });
+  const net::TransmitPlan plan = network_.plan_transmission(
+      message.from_node, to_node, message.wire_bytes);
+  if (plan.copies == 0) return;  // swallowed by the fault plan
+
+  const std::uint32_t slot = acquire_slot();
+  InFlight& flight = in_flight_[slot];
+  flight.message = std::move(message);
+  flight.next = kNoSlot;
+  flight.remaining = static_cast<std::uint8_t>(plan.copies);
+
+  if (plan.copies == 1) {
+    // Coalesce bursts: when this message lands on the same node at the same
+    // instant as the open burst AND nothing has been scheduled since that
+    // burst's event (so the chained messages' sequence numbers would have
+    // been consecutive anyway), append to the chain instead of paying for
+    // another simulator event. Both checks are required for exact order
+    // preservation; `pending` also guards against appending to a chain
+    // whose event is firing right now (its slots are already released).
+    const sim::SimTime when = simulator_.now() + plan.delay[0];
+    if (open_tail_ != kNoSlot && open_node_ == to_node && open_when_ == when &&
+        simulator_.schedule_stamp() == open_stamp_ &&
+        simulator_.pending(open_event_)) {
+      in_flight_[open_tail_].next = slot;
+      open_tail_ = slot;
+      return;
+    }
+    open_event_ = simulator_.schedule_after(plan.delay[0],
+                                            BurstEvent{this, slot, to_node});
+    open_stamp_ = simulator_.schedule_stamp();
+    open_tail_ = slot;
+    open_node_ = to_node;
+    open_when_ = when;
+    return;
+  }
+  for (int copy = 0; copy < plan.copies; ++copy) {
+    simulator_.schedule_after(plan.delay[copy],
+                              DeliveryEvent{this, slot, to_node});
+  }
+}
+
+void AgentSystem::on_delivery(std::uint32_t slot, net::NodeId node) {
+  network_.note_delivered(node);
+  // Extract the message (and free the slot) before delivering: the handler
+  // may send again and reallocate `in_flight_`.
+  InFlight& flight = in_flight_[slot];
+  if (flight.remaining > 1) {
+    --flight.remaining;
+    Message copy = flight.message;  // a duplicated send; keep the original
+    deliver(node, std::move(copy));
+    return;
+  }
+  Message message = std::move(flight.message);
+  release_slot(slot);
+  deliver(node, std::move(message));
+}
+
+void AgentSystem::on_burst(std::uint32_t head, net::NodeId node) {
+  // Walk the chain in append order (= original per-message event order).
+  // Re-index `in_flight_` on every step: a bounced message reenters
+  // `transmit`, which may grow the pool or reuse released slots.
+  std::uint32_t slot = head;
+  while (slot != kNoSlot) {
+    const std::uint32_t next = in_flight_[slot].next;
+    network_.note_delivered(node);
+    Message& message = in_flight_[slot].message;
+    Record* record = records_.find(message.to);
+    if (record != nullptr && record->state == State::kActive &&
+        record->agent->node() == node) {
+      // `enqueue` runs no agent code, so deliver straight from the slot.
+      enqueue(*record, std::move(message));
+      release_slot(slot);
+    } else {
+      Message bounced = std::move(message);
+      release_slot(slot);
+      bounce(bounced);
+    }
+    slot = next;
+  }
 }
 
 void AgentSystem::deliver(net::NodeId node, Message message) {
-  const auto it = records_.find(message.to);
-  const bool present = it != records_.end() &&
-                       it->second.state == State::kActive &&
-                       it->second.agent->node() == node;
+  Record* record = records_.find(message.to);
+  const bool present = record != nullptr &&
+                       record->state == State::kActive &&
+                       record->agent->node() == node;
   if (!present) {
     bounce(message);
     return;
   }
-  enqueue(it->second, std::move(message));
+  enqueue(*record, std::move(message));
 }
 
-void AgentSystem::enqueue(Record& record, Message message) {
+void AgentSystem::enqueue(Record& record, Message&& message) {
   record.inbox.push_back(std::move(message));
   if (!record.serving) {
     record.serving = true;
@@ -255,33 +380,38 @@ void AgentSystem::enqueue(Record& record, Message message) {
 }
 
 void AgentSystem::serve_next(AgentId id, std::uint64_t epoch) {
-  auto it = records_.find(id);
-  if (it == records_.end() || it->second.epoch != epoch ||
-      !it->second.serving || it->second.inbox.empty()) {
+  Record* record = records_.find(id);
+  if (record == nullptr || record->epoch != epoch || !record->serving ||
+      record->inbox.empty()) {
     return;
   }
-  Message message = std::move(it->second.inbox.front());
-  it->second.inbox.pop_front();
+  Message message = record->inbox.pop_front();
   ++stats_.messages_processed;
-  dispatch(*it->second.agent, message);
+  const std::uint64_t version = records_version_;
+  dispatch(*record->agent, message);
 
-  // The handler may have migrated or disposed the agent; re-resolve.
-  it = records_.find(id);
-  if (it == records_.end() || it->second.epoch != epoch) return;
-  if (it->second.inbox.empty()) {
-    it->second.serving = false;
+  // The handler may have disposed or created agents, moving records_ slots
+  // under us; re-resolve, but only when the map actually changed. (Migration
+  // never moves slots — the epoch check below catches it.)
+  if (records_version_ != version) {
+    record = records_.find(id);
+    if (record == nullptr) return;
+  }
+  if (record->epoch != epoch) return;
+  if (record->inbox.empty()) {
+    record->serving = false;
   } else {
     simulator_.schedule_after(config_.service_time,
                               [this, id, epoch] { serve_next(id, epoch); });
   }
 }
 
-void AgentSystem::dispatch(Agent& agent, const Message& message) {
+void AgentSystem::dispatch(Agent& agent, Message& message) {
   if (message.is_reply) {
     RpcResult result;
     result.status = RpcResult::Status::kOk;
-    result.reply = message;
-    complete_rpc(message.correlation, std::move(result));
+    result.reply = std::move(message);
+    complete_rpc(result.reply.correlation, std::move(result));
     return;
   }
   if (const auto* failure = message.body_as<DeliveryFailure>()) {
@@ -289,6 +419,7 @@ void AgentSystem::dispatch(Agent& agent, const Message& message) {
         pending_rpcs_.contains(failure->correlation)) {
       RpcResult result;
       result.status = RpcResult::Status::kDeliveryFailure;
+      ++stats_.rpc_delivery_failures;
       complete_rpc(failure->correlation, std::move(result));
     } else {
       agent.on_delivery_failure(*failure);
@@ -302,7 +433,7 @@ void AgentSystem::bounce(const Message& message) {
   ++stats_.messages_bounced;
   if (!config_.bounce_undeliverable) return;
   // System messages (bounces themselves) are never bounced back: no loops.
-  if (message.from == kNoAgent || message.body.type() == typeid(DeliveryFailure)) {
+  if (message.from == kNoAgent || message.body.holds<DeliveryFailure>()) {
     return;
   }
   Message notice;
@@ -318,11 +449,11 @@ void AgentSystem::bounce(const Message& message) {
 }
 
 void AgentSystem::complete_rpc(std::uint64_t correlation, RpcResult result) {
-  const auto it = pending_rpcs_.find(correlation);
-  if (it == pending_rpcs_.end()) return;  // already timed out or completed
-  simulator_.cancel(it->second.timeout_event);
-  auto callback = std::move(it->second.callback);
-  pending_rpcs_.erase(it);
+  PendingRpc* rpc = pending_rpcs_.find(correlation);
+  if (rpc == nullptr) return;  // already timed out or completed
+  simulator_.cancel(rpc->timeout_event);
+  RpcCallback callback = std::move(rpc->callback);
+  pending_rpcs_.erase(correlation);
   callback(std::move(result));
 }
 
@@ -330,21 +461,31 @@ void AgentSystem::drop_rpcs_from(AgentId id) {
   // Complete (rather than leak) the requests of a disposing agent: the
   // callbacks are plain closures that may carry continuations beyond the
   // agent itself, and they are written to tolerate the agent being gone.
-  std::vector<std::function<void(RpcResult)>> callbacks;
-  for (auto it = pending_rpcs_.begin(); it != pending_rpcs_.end();) {
-    if (it->second.from == id) {
-      simulator_.cancel(it->second.timeout_event);
-      callbacks.push_back(std::move(it->second.callback));
-      it = pending_rpcs_.erase(it);
-    } else {
-      ++it;
-    }
+  std::vector<std::pair<std::uint64_t, RpcCallback>> doomed;
+  pending_rpcs_.for_each([&](std::uint64_t correlation, PendingRpc& rpc) {
+    if (rpc.from != id) return;
+    simulator_.cancel(rpc.timeout_event);
+    doomed.emplace_back(correlation, std::move(rpc.callback));
+  });
+  // Erase before invoking anything: callbacks may issue new RPCs and must
+  // not observe (or collide with) the half-dead entries.
+  for (const auto& [correlation, callback] : doomed) {
+    pending_rpcs_.erase(correlation);
   }
-  for (auto& callback : callbacks) {
+  for (auto& [correlation, callback] : doomed) {
     RpcResult result;
     result.status = RpcResult::Status::kDeliveryFailure;
+    ++stats_.rpc_delivery_failures;
     callback(std::move(result));
   }
+}
+
+AgentSystem::ServiceKey AgentSystem::service_key(std::string_view name) {
+  for (std::size_t i = 0; i < service_names_.size(); ++i) {
+    if (service_names_[i] == name) return static_cast<ServiceKey>(i);
+  }
+  service_names_.emplace_back(name);
+  return static_cast<ServiceKey>(service_names_.size() - 1);
 }
 
 void AgentSystem::register_service(net::NodeId node, const std::string& name,
@@ -352,7 +493,16 @@ void AgentSystem::register_service(net::NodeId node, const std::string& name,
   if (node >= services_.size()) {
     throw std::out_of_range("AgentSystem::register_service: node");
   }
-  services_[node][name] = agent;
+  const ServiceKey key = service_key(name);
+  auto& local = services_[node];
+  const auto it = std::lower_bound(
+      local.begin(), local.end(), key,
+      [](const auto& entry, ServiceKey k) { return entry.first < k; });
+  if (it != local.end() && it->first == key) {
+    it->second = agent;
+  } else {
+    local.insert(it, {key, agent});
+  }
 }
 
 void AgentSystem::unregister_service(net::NodeId node,
@@ -360,16 +510,39 @@ void AgentSystem::unregister_service(net::NodeId node,
   if (node >= services_.size()) {
     throw std::out_of_range("AgentSystem::unregister_service: node");
   }
-  services_[node].erase(name);
+  const ServiceKey key = service_key(name);
+  auto& local = services_[node];
+  const auto it = std::lower_bound(
+      local.begin(), local.end(), key,
+      [](const auto& entry, ServiceKey k) { return entry.first < k; });
+  if (it != local.end() && it->first == key) local.erase(it);
+}
+
+std::optional<AgentId> AgentSystem::lookup_service(net::NodeId node,
+                                                   ServiceKey key) const {
+  if (node >= services_.size()) return std::nullopt;
+  const auto& local = services_[node];
+  const auto it = std::lower_bound(
+      local.begin(), local.end(), key,
+      [](const auto& entry, ServiceKey k) { return entry.first < k; });
+  if (it == local.end() || it->first != key) return std::nullopt;
+  return it->second;
 }
 
 std::optional<AgentId> AgentSystem::lookup_service(
     net::NodeId node, const std::string& name) const {
-  if (node >= services_.size()) return std::nullopt;
-  const auto& local = services_[node];
-  const auto it = local.find(name);
-  if (it == local.end()) return std::nullopt;
-  return it->second;
+  for (std::size_t i = 0; i < service_names_.size(); ++i) {
+    if (service_names_[i] == name) {
+      return lookup_service(node, static_cast<ServiceKey>(i));
+    }
+  }
+  return std::nullopt;  // never registered anywhere
+}
+
+void AgentSystem::unregister_agent_services(net::NodeId node, AgentId id) {
+  if (node >= services_.size()) return;
+  auto& local = services_[node];
+  std::erase_if(local, [id](const auto& entry) { return entry.second == id; });
 }
 
 bool AgentSystem::exists(AgentId id) const noexcept {
@@ -377,26 +550,26 @@ bool AgentSystem::exists(AgentId id) const noexcept {
 }
 
 bool AgentSystem::in_transit(AgentId id) const noexcept {
-  const auto it = records_.find(id);
-  return it != records_.end() && it->second.state == State::kInTransit;
+  const Record* record = records_.find(id);
+  return record != nullptr && record->state == State::kInTransit;
 }
 
 std::optional<net::NodeId> AgentSystem::node_of(AgentId id) const noexcept {
-  const auto it = records_.find(id);
-  if (it == records_.end() || it->second.state != State::kActive) {
+  const Record* record = records_.find(id);
+  if (record == nullptr || record->state != State::kActive) {
     return std::nullopt;
   }
-  return it->second.agent->node();
+  return record->agent->node();
 }
 
 Agent* AgentSystem::find(AgentId id) noexcept {
-  const auto it = records_.find(id);
-  return it == records_.end() ? nullptr : it->second.agent.get();
+  Record* record = records_.find(id);
+  return record == nullptr ? nullptr : record->agent.get();
 }
 
 std::size_t AgentSystem::inbox_depth(AgentId id) const noexcept {
-  const auto it = records_.find(id);
-  return it == records_.end() ? 0 : it->second.inbox.size();
+  const Record* record = records_.find(id);
+  return record == nullptr ? 0 : record->inbox.size();
 }
 
 }  // namespace agentloc::platform

@@ -1,14 +1,10 @@
 #pragma once
 
-#include <any>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -16,6 +12,9 @@
 #include "platform/agent.hpp"
 #include "platform/message.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_map.hpp"
+#include "util/inline_function.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace agentloc::platform {
 
@@ -33,6 +32,11 @@ struct RpcResult {
   bool ok() const noexcept { return status == Status::kOk; }
 };
 
+/// RPC completion callback. Location-protocol callbacks capture a handful of
+/// ids plus a continuation (~56 bytes), so 64 inline bytes keeps the request
+/// path allocation-free where `std::function` spilled every capture.
+using RpcCallback = util::InlineFunction<void(RpcResult), 64>;
+
 /// Counters the benches report alongside location times.
 struct PlatformStats {
   std::uint64_t agents_created = 0;
@@ -43,6 +47,14 @@ struct PlatformStats {
   std::uint64_t messages_processed = 0;
   std::uint64_t messages_bounced = 0;
   std::uint64_t rpc_timeouts = 0;
+  /// RPCs completed with `kDeliveryFailure` (bounced request, or the caller
+  /// was disposed with the RPC still pending).
+  std::uint64_t rpc_delivery_failures = 0;
+  /// `BatchedUpdate` flushes performed by the core layer's update batchers.
+  std::uint64_t batch_flushes = 0;
+  /// Location updates that rode an existing batch instead of paying for a
+  /// wire message of their own (`enqueued - flushed batches`).
+  std::uint64_t messages_coalesced = 0;
 };
 
 /// The mobile-agent platform: hosts agents on simulated nodes, migrates them,
@@ -63,6 +75,12 @@ struct PlatformStats {
 /// 3. **Migration costs bandwidth and time.** Moving an agent ships its
 ///    serialized image through the same network, and the agent processes no
 ///    messages while in transit.
+///
+/// The message plane is allocation-free in steady state (DESIGN.md §10):
+/// payloads live inline in `util::PayloadBox`, inboxes are pooled
+/// `util::RingBuffer`s recycled across agent lifetimes, records and pending
+/// RPCs sit in open-addressing `util::FlatMap`s, and in-flight messages wait
+/// in a slot pool so delivery events capture 16 trivially-copyable bytes.
 class AgentSystem {
  public:
   struct Config {
@@ -120,30 +138,47 @@ class AgentSystem {
   void migrate(AgentId id, net::NodeId destination);
 
   /// Fire-and-forget message.
-  void send(AgentId from, const AgentAddress& to, std::any body,
+  void send(AgentId from, const AgentAddress& to, util::PayloadBox body,
             std::size_t wire_bytes);
 
   /// Request/response. `callback` fires exactly once: with the reply, a
   /// bounce, or a timeout. Replies route to the callback, not to
   /// `on_message`.
-  void request(AgentId from, const AgentAddress& to, std::any body,
-               std::size_t wire_bytes,
-               std::function<void(RpcResult)> callback,
+  void request(AgentId from, const AgentAddress& to, util::PayloadBox body,
+               std::size_t wire_bytes, RpcCallback callback,
                std::optional<sim::SimTime> timeout = std::nullopt);
 
   /// Respond to a request received in `on_message`.
-  void reply(const Message& request, AgentId from, std::any body,
+  void reply(const Message& request, AgentId from, util::PayloadBox body,
              std::size_t wire_bytes);
 
   /// --- Node-local service registry -------------------------------------
   /// Stationary per-node infrastructure (the paper's LHAgents) registers
   /// here so that newly created or arriving agents can find it without any
-  /// remote communication.
+  /// remote communication. Names are interned to small integer keys; each
+  /// node holds a sorted vector of (key, agent) so the arrival-path lookup
+  /// is a name-table probe plus a binary search, not a `std::map` walk.
+  using ServiceKey = std::uint32_t;
+
   void register_service(net::NodeId node, const std::string& name,
                         AgentId agent);
   void unregister_service(net::NodeId node, const std::string& name);
   std::optional<AgentId> lookup_service(net::NodeId node,
                                         const std::string& name) const;
+
+  /// Intern `name`, returning the key accepted by the key-based overload —
+  /// hot callers resolve the key once and skip the string compare forever.
+  ServiceKey service_key(std::string_view name);
+  std::optional<AgentId> lookup_service(net::NodeId node,
+                                        ServiceKey key) const;
+
+  /// --- Core-layer stats hooks -------------------------------------------
+  /// Called by the update-batching layer when it flushes a batch that
+  /// absorbed `coalesced` updates which would otherwise have been messages.
+  void note_batch_flush(std::uint64_t coalesced) noexcept {
+    ++stats_.batch_flushes;
+    stats_.messages_coalesced += coalesced;
+  }
 
   /// --- Introspection (test oracle / benches; not used by protocols) -----
   bool exists(AgentId id) const noexcept;
@@ -161,23 +196,67 @@ class AgentSystem {
   /// service).
   std::size_t inbox_depth(AgentId id) const noexcept;
 
+  /// Inbox ring buffers parked in the recycling pool (white-box tests).
+  std::size_t pooled_inbox_count() const noexcept {
+    return inbox_pool_.size();
+  }
+
  private:
   enum class State { kActive, kInTransit };
 
   struct Record {
     std::unique_ptr<Agent> agent;
     State state = State::kActive;
-    std::deque<Message> inbox;
+    util::RingBuffer<Message> inbox;
     bool serving = false;
+    /// Teardown in progress: reentrant dispose of the same id is a no-op.
+    bool disposing = false;
     /// Bumped on migrate/dispose so stale scheduled events become no-ops.
     std::uint64_t epoch = 0;
   };
 
   struct PendingRpc {
     AgentId from = kNoAgent;
-    std::function<void(RpcResult)> callback;
+    RpcCallback callback;
     sim::EventId timeout_event = sim::kInvalidEvent;
   };
+
+  /// A message between transmit and delivery. Slots are pooled so the
+  /// simulator event only carries {system, slot, node} — small enough for
+  /// the engine's inline handler storage, so the hot path never allocates.
+  /// `next` doubles as the free-list link and, while in flight, the chain
+  /// link of a coalesced delivery burst.
+  struct InFlight {
+    Message message;
+    std::uint32_t next = 0;
+    std::uint8_t remaining = 0;
+  };
+
+  /// Scheduled delivery of one pooled in-flight message (the duplicated-
+  /// copy path): 16 trivially-copyable bytes, so the simulator stores and
+  /// replays it without touching the heap.
+  struct DeliveryEvent {
+    AgentSystem* system;
+    std::uint32_t slot;
+    net::NodeId node;
+
+    void operator()() const { system->on_delivery(slot, node); }
+  };
+
+  /// Scheduled delivery of a chain of coalesced messages bound for the same
+  /// node at the same instant. A burst of k messages costs one simulator
+  /// event instead of k; `transmit` only appends when that merge is provably
+  /// order-preserving (see the checks there).
+  struct BurstEvent {
+    AgentSystem* system;
+    std::uint32_t head;
+    net::NodeId node;
+
+    void operator()() const { system->on_burst(head, node); }
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffff;
+  static constexpr std::size_t kMaxPooledInboxes = 256;
 
   void install(std::unique_ptr<Agent> owned, net::NodeId node);
   AgentId allocate_id();
@@ -185,13 +264,24 @@ class AgentSystem {
   void ship_migration(AgentId id, std::uint64_t epoch, net::NodeId source,
                       net::NodeId destination, std::size_t bytes);
   void transmit(Message message, net::NodeId to_node);
+  void on_delivery(std::uint32_t slot, net::NodeId node);
+  void on_burst(std::uint32_t head, net::NodeId node);
   void deliver(net::NodeId node, Message message);
-  void enqueue(Record& record, Message message);
+  void enqueue(Record& record, Message&& message);
   void serve_next(AgentId id, std::uint64_t epoch);
-  void dispatch(Agent& agent, const Message& message);
+  void dispatch(Agent& agent, Message& message);
   void bounce(const Message& message);
   void complete_rpc(std::uint64_t correlation, RpcResult result);
   void drop_rpcs_from(AgentId id);
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+
+  util::RingBuffer<Message> acquire_inbox();
+  void recycle_inbox(util::RingBuffer<Message>&& inbox);
+  void drain_inbox_bouncing(Record& record);
+
+  void unregister_agent_services(net::NodeId node, AgentId id);
 
   sim::Simulator& simulator_;
   net::Network& network_;
@@ -201,9 +291,33 @@ class AgentSystem {
   std::uint64_t id_counter_ = 0;
   std::uint64_t correlation_counter_ = 0;
 
-  std::unordered_map<AgentId, Record> records_;
-  std::unordered_map<std::uint64_t, PendingRpc> pending_rpcs_;
-  std::vector<std::map<std::string, AgentId>> services_;
+  util::FlatMap<AgentId, Record, kNoAgent> records_;
+  /// Bumped whenever `records_` gains or loses an entry (the only
+  /// operations that move its slots); lets the serve loop skip the
+  /// post-dispatch re-find when nothing changed.
+  std::uint64_t records_version_ = 0;
+  util::FlatMap<std::uint64_t, PendingRpc, 0> pending_rpcs_;
+
+  /// Interned service names; index in this vector IS the `ServiceKey`.
+  std::vector<std::string> service_names_;
+  /// Per node: (key, agent), sorted by key.
+  std::vector<std::vector<std::pair<ServiceKey, AgentId>>> services_;
+
+  std::vector<InFlight> in_flight_;
+  std::uint32_t in_flight_free_ = kNoSlot;
+
+  /// The open delivery burst: tail slot of the chain scheduled by
+  /// `open_event_` to land on `open_node_` at `open_when_`. `open_stamp_`
+  /// snapshots the simulator's schedule stamp right after that event was
+  /// scheduled; any later schedule invalidates the merge (order would no
+  /// longer be provably identical), as does the event firing.
+  std::uint32_t open_tail_ = kNoSlot;
+  net::NodeId open_node_ = 0;
+  sim::SimTime open_when_ = sim::SimTime::zero();
+  sim::EventId open_event_ = sim::kInvalidEvent;
+  std::uint64_t open_stamp_ = 0;
+
+  std::vector<util::RingBuffer<Message>> inbox_pool_;
 
   /// Agents disposed from inside their own callbacks wait here until the
   /// current event finishes.

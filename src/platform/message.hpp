@@ -1,10 +1,10 @@
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <iosfwd>
 
 #include "net/latency.hpp"
+#include "util/payload_box.hpp"
 
 namespace agentloc::platform {
 
@@ -31,9 +31,11 @@ std::ostream& operator<<(std::ostream& os, const AgentAddress& address);
 /// An inter-agent message as delivered to `Agent::on_message`.
 ///
 /// The payload is type-erased: protocol layers define plain structs and
-/// retrieve them with `body_as<T>()`. `wire_bytes` is the serialized size the
-/// sender declared; the network charges latency for it, so protocol structs
-/// report honest sizes (see `core/protocol.hpp`).
+/// retrieve them with `body_as<T>()`. Every fixed-size protocol struct lives
+/// inline in the `util::PayloadBox` (no allocation per message); only
+/// oversized control-plane payloads spill to the heap. `wire_bytes` is the
+/// serialized size the sender declared; the network charges latency for it,
+/// so protocol structs report honest sizes (see `core/protocol.hpp`).
 struct Message {
   AgentId from = kNoAgent;
   net::NodeId from_node = net::kNoNode;
@@ -44,12 +46,12 @@ struct Message {
   bool is_reply = false;
 
   std::size_t wire_bytes = 0;
-  std::any body;
+  util::PayloadBox body;
 
   /// Typed view of the payload; nullptr when the body holds another type.
   template <typename T>
   const T* body_as() const noexcept {
-    return std::any_cast<T>(&body);
+    return body.get_if<T>();
   }
 };
 

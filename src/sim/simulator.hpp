@@ -78,6 +78,22 @@ class Simulator {
   std::size_t pending() const noexcept { return live_; }
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// True while `id` is scheduled and has neither run nor been cancelled
+  /// (execution releases the slot before invoking the handler, so an event
+  /// is no longer pending while its own handler runs).
+  bool pending(EventId id) const noexcept {
+    const auto slot = static_cast<std::uint32_t>(id);
+    const auto generation = static_cast<std::uint32_t>(id >> 32);
+    return slot < records_.size() && records_[slot].armed &&
+           records_[slot].generation == generation;
+  }
+
+  /// Monotone stamp that advances exactly when an event is scheduled.
+  /// Callers use it to prove "nothing was scheduled since": the agent
+  /// platform coalesces same-instant deliveries only when the stamp is
+  /// unchanged, which keeps merged events order-identical to unmerged ones.
+  std::uint64_t schedule_stamp() const noexcept { return next_seq_; }
+
   /// High-water mark of the event pool (diagnostics; pairs with `reserve`).
   std::size_t pool_size() const noexcept { return records_.size(); }
 

@@ -39,8 +39,28 @@ class FlatMap {
   }
 
   void clear() noexcept {
-    for (Slot& slot : slots_) slot.key = kEmptyKey;
+    for (Slot& slot : slots_) {
+      slot.key = kEmptyKey;
+      slot.value = Value{};
+    }
     size_ = 0;
+  }
+
+  /// Visit every (key, value) pair, in unspecified (slot) order. The
+  /// callback must not insert into or erase from the map — collect keys
+  /// first for erase-while-iterating patterns.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
   }
 
   Value* find(Key key) noexcept {
@@ -107,6 +127,7 @@ class FlatMap {
       cur = (cur + 1) & mask();
     }
     slots_[hole].key = kEmptyKey;
+    slots_[hole].value = Value{};  // release resources of move-only values
     --size_;
     return true;
   }
@@ -147,7 +168,8 @@ class FlatMap {
 
   void rehash(std::size_t capacity) {
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(capacity, Slot{});
+    slots_.clear();
+    slots_.resize(capacity);  // resize, not assign: Value may be move-only
     for (Slot& slot : old) {
       if (slot.key == kEmptyKey) continue;
       std::size_t idx = slot_of(slot.key);

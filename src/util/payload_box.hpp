@@ -1,0 +1,203 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace agentloc::util {
+
+/// Copyable type-erased value box with small-buffer optimization — the
+/// message-payload counterpart of `util::InlineFunction`.
+///
+/// `std::any` heap-allocates every payload larger than ~8 bytes, which made
+/// each platform message carry at least one malloc/free pair just for its
+/// body. This box stores values up to `Capacity` bytes inline (the fixed-size
+/// structs of `core/protocol.hpp` all fit); only oversized control-plane
+/// payloads fall back to the heap. Type recovery is by vtable identity
+/// instead of RTTI: each decayed type maps to exactly one statically-emitted
+/// vtable, so `get_if<T>()` is a single pointer compare.
+template <std::size_t Capacity = 48>
+class BasicPayloadBox {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  BasicPayloadBox() noexcept = default;
+
+  /// Wrap any copy-constructible value. Stored inline when it fits (size,
+  /// alignment, and a noexcept move constructor — relocation must not
+  /// throw); heap otherwise.
+  template <typename T, typename D = std::decay_t<T>,
+            typename = std::enable_if_t<!std::is_same_v<D, BasicPayloadBox>>>
+  BasicPayloadBox(T&& value) {  // NOLINT(runtime/explicit)
+    static_assert(std::is_copy_constructible_v<D>,
+                  "payloads must be copyable (messages may be duplicated)");
+    if constexpr (stored_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<T>(value));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<T>(value)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  BasicPayloadBox(const BasicPayloadBox& other) { copy_from(other); }
+
+  BasicPayloadBox(BasicPayloadBox&& other) noexcept { take(other); }
+
+  BasicPayloadBox& operator=(const BasicPayloadBox& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  BasicPayloadBox& operator=(BasicPayloadBox&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  ~BasicPayloadBox() { reset(); }
+
+  /// Destroy the held value and become empty.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (!vtable_->trivial) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  bool has_value() const noexcept { return vtable_ != nullptr; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Whether the box currently holds a value of (decayed) type `T`.
+  template <typename T>
+  bool holds() const noexcept {
+    return vtable_ == vtable_for<std::decay_t<T>>();
+  }
+
+  /// Typed view of the held value; nullptr on type mismatch or empty box.
+  template <typename T>
+  const T* get_if() const noexcept {
+    using D = std::decay_t<T>;
+    if (vtable_ != vtable_for<D>()) return nullptr;
+    const void* storage = storage_;
+    if constexpr (stored_inline<D>()) {
+      return std::launder(static_cast<const D*>(storage));
+    } else {
+      return *std::launder(static_cast<D* const*>(storage));
+    }
+  }
+
+  template <typename T>
+  T* get_if() noexcept {
+    return const_cast<T*>(std::as_const(*this).template get_if<T>());
+  }
+
+  /// Whether a value of type `T` would be stored without heap allocation.
+  template <typename T>
+  static constexpr bool stored_inline() noexcept {
+    return sizeof(T) <= Capacity && alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+ private:
+  struct VTable {
+    // Copy-construct the value held in `src` storage into `dst` storage;
+    // may throw (the value's copy constructor propagates).
+    void (*copy)(void* dst, const void* src);
+    // Move the value from `src` storage into `dst` storage and destroy the
+    // source; never throws (inline storage requires a noexcept move).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    // Trivially-copyable inline values move/copy by memcpy and need no
+    // destructor call — every fixed-size protocol struct takes this path.
+    bool trivial;
+  };
+
+  template <typename T>
+  struct InlineOps {
+    static void copy(void* dst, const void* src) {
+      ::new (dst) T(*static_cast<const T*>(src));
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      T* from = static_cast<T*>(src);
+      ::new (dst) T(std::move(*from));
+      from->~T();
+    }
+    static void destroy(void* storage) noexcept {
+      static_cast<T*>(storage)->~T();
+    }
+  };
+
+  template <typename T>
+  struct HeapOps {
+    static T*& slot(void* storage) noexcept {
+      return *static_cast<T**>(storage);
+    }
+    static void copy(void* dst, const void* src) {
+      ::new (dst) T*(new T(**static_cast<T* const*>(src)));
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) T*(slot(src));  // steal the pointer; nothing to destroy
+    }
+    static void destroy(void* storage) noexcept { delete slot(storage); }
+  };
+
+  template <typename T>
+  static constexpr VTable kInlineVTable{
+      &InlineOps<T>::copy, &InlineOps<T>::relocate, &InlineOps<T>::destroy,
+      std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>};
+  template <typename T>
+  static constexpr VTable kHeapVTable{&HeapOps<T>::copy,
+                                      &HeapOps<T>::relocate,
+                                      &HeapOps<T>::destroy, false};
+
+  /// The one vtable a (decayed) type erases through — its identity tag.
+  template <typename D>
+  static const VTable* vtable_for() noexcept {
+    if constexpr (stored_inline<D>()) {
+      return &kInlineVTable<D>;
+    } else {
+      return &kHeapVTable<D>;
+    }
+  }
+
+  void copy_from(const BasicPayloadBox& other) {
+    if (other.vtable_ == nullptr) return;
+    if (other.vtable_->trivial) {
+      std::memcpy(storage_, other.storage_, Capacity);
+    } else {
+      other.vtable_->copy(storage_, other.storage_);
+    }
+    vtable_ = other.vtable_;  // only after a successful copy
+  }
+
+  void take(BasicPayloadBox& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      if (other.vtable_->trivial) {
+        std::memcpy(storage_, other.storage_, Capacity);
+      } else {
+        other.vtable_->relocate(storage_, other.storage_);
+      }
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  static_assert(Capacity >= sizeof(void*),
+                "capacity must at least hold the heap fallback pointer");
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+/// The platform's message-payload box: 48 inline bytes covers every
+/// fixed-size struct in `core/protocol.hpp`.
+using PayloadBox = BasicPayloadBox<48>;
+
+}  // namespace agentloc::util

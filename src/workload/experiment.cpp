@@ -188,6 +188,11 @@ void merge_replication(ExperimentResult& merged, const ExperimentResult& one) {
   merged.platform_stats.messages_bounced +=
       one.platform_stats.messages_bounced;
   merged.platform_stats.rpc_timeouts += one.platform_stats.rpc_timeouts;
+  merged.platform_stats.rpc_delivery_failures +=
+      one.platform_stats.rpc_delivery_failures;
+  merged.platform_stats.batch_flushes += one.platform_stats.batch_flushes;
+  merged.platform_stats.messages_coalesced +=
+      one.platform_stats.messages_coalesced;
 
   merged.sim_seconds += one.sim_seconds;
   merged.events_executed += one.events_executed;

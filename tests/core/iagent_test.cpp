@@ -35,7 +35,7 @@ class IAgentTest : public ::testing::Test {
   }
 
   /// RPC from the client to the IAgent; returns the result once settled.
-  platform::RpcResult rpc(std::any body, std::size_t bytes) {
+  platform::RpcResult rpc(util::PayloadBox body, std::size_t bytes) {
     std::optional<platform::RpcResult> settled;
     cluster_.system.request(client_->id(), iagent_address(), std::move(body),
                             bytes,
@@ -80,6 +80,7 @@ class IAgentTest : public ::testing::Test {
   static Predicate top_bit(bool value) {
     Predicate predicate;
     predicate.valid_bits.emplace_back(0, value);
+    predicate.compile();
     return predicate;
   }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "hashtree/paper_figures.hpp"
+#include "util/rng.hpp"
 
 namespace agentloc::core {
 namespace {
@@ -44,6 +45,7 @@ TEST(LocationTable, ExtractMatchingPartitions) {
   // Predicate: bit 0 == 1 (ids with the top bit set).
   Predicate top_bit;
   top_bit.valid_bits.emplace_back(0, true);
+  top_bit.compile();
   table.apply(LocationEntry{0x8000000000000001ull, 1, 1});
   table.apply(LocationEntry{0x0000000000000001ull, 2, 1});
   table.apply(LocationEntry{0xffffffffffffffffull, 3, 1});
@@ -79,6 +81,7 @@ TEST(Predicate, ChecksBitsAtPositions) {
   Predicate predicate;
   predicate.valid_bits.emplace_back(0, true);
   predicate.valid_bits.emplace_back(63, false);
+  predicate.compile();
   EXPECT_TRUE(predicate.matches(0x8000000000000000ull));
   EXPECT_FALSE(predicate.matches(0x8000000000000001ull));  // bit 63 = 1
   EXPECT_FALSE(predicate.matches(0x0000000000000000ull));  // bit 0 = 0
@@ -87,9 +90,54 @@ TEST(Predicate, ChecksBitsAtPositions) {
 TEST(Predicate, PositionsBeyond64ReadAsZero) {
   Predicate predicate;
   predicate.valid_bits.emplace_back(70, false);
+  predicate.compile();
   EXPECT_TRUE(predicate.matches(0xffffffffffffffffull));
   predicate.valid_bits.back().second = true;
+  predicate.compile();
   EXPECT_FALSE(predicate.matches(0xffffffffffffffffull));
+}
+
+TEST(Predicate, CompiledMatchesScanOnRandomPredicates) {
+  // The compiled (mask, value) fast path must agree with the wire-form scan
+  // on every predicate shape: in-range and out-of-range positions,
+  // duplicates (agreeing and conflicting), and empty.
+  util::Rng rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    Predicate predicate;
+    const std::size_t bits = rng.next_below(8);
+    for (std::size_t i = 0; i < bits; ++i) {
+      const auto position = static_cast<std::uint32_t>(rng.next_below(80));
+      predicate.valid_bits.emplace_back(position, rng.chance(0.5));
+    }
+    predicate.compile();
+    for (int probe = 0; probe < 64; ++probe) {
+      const platform::AgentId id = rng.next();
+      ASSERT_EQ(predicate.matches(id), predicate.matches_scan(id))
+          << "round " << round << " id " << id;
+    }
+    // Also probe ids built to satisfy the in-range bits, where the scan
+    // path is most likely to say yes.
+    platform::AgentId crafted = rng.next();
+    for (const auto& [position, bit] : predicate.valid_bits) {
+      if (position >= 64) continue;
+      const std::uint64_t bit_mask = 1ull << (63 - position);
+      crafted = bit ? (crafted | bit_mask) : (crafted & ~bit_mask);
+    }
+    ASSERT_EQ(predicate.matches(crafted), predicate.matches_scan(crafted));
+  }
+}
+
+TEST(Predicate, ConflictingDuplicatePositionsMatchNothing) {
+  Predicate predicate;
+  predicate.valid_bits.emplace_back(3, true);
+  predicate.valid_bits.emplace_back(3, false);
+  predicate.compile();
+  EXPECT_TRUE(predicate.impossible);
+  EXPECT_FALSE(predicate.matches(0));
+  EXPECT_FALSE(predicate.matches(~0ull));
+  // The scan agrees: no id carries both values at one position.
+  EXPECT_FALSE(predicate.matches_scan(0));
+  EXPECT_FALSE(predicate.matches_scan(~0ull));
 }
 
 TEST(PredicateOf, MatchesTreeLookupOnFigure1) {

@@ -9,8 +9,13 @@
 //      IAgents' tables together hold exactly one entry per live TAgent.
 //  I4. Secondary copies are always *some* historical version of the primary
 //      (their version never exceeds the primary's).
+//  I5. Message accounting balances: the platform never loses a message
+//      silently — everything sent is processed, bounced, or still in flight,
+//      so `sent >= processed + bounced` at every instant.
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 #include "core/hash_scheme.hpp"
 #include "core/iagent.hpp"
@@ -119,6 +124,106 @@ TEST_F(InvariantsTest, HoldThroughoutAChurnyRun) {
   simulator_.run_until(simulator_.now() + sim::SimTime::seconds(120));
   EXPECT_EQ(querier.found(), 120u);
   EXPECT_EQ(querier.wrong_location(), 0u);  // population is stationary now
+}
+
+TEST_F(InvariantsTest, MessageAccountingBalancesThroughoutARun) {
+  util::Rng seeds(23);
+  std::vector<TAgent*> population;
+  for (int i = 0; i < 30; ++i) {
+    TAgent::Config config;
+    config.residence = sim::SimTime::millis(200);
+    config.seed = seeds.next();
+    population.push_back(&system_.create<TAgent>(
+        static_cast<net::NodeId>(i % 10), scheme_, config));
+  }
+
+  // I5, sampled while registrations, updates, rehashes, and handoffs churn.
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    simulator_.run_until(simulator_.now() + sim::SimTime::seconds(1));
+    const auto& stats = system_.stats();
+    ASSERT_GE(stats.messages_sent,
+              stats.messages_processed + stats.messages_bounced)
+        << "epoch " << epoch;
+  }
+
+  // Quiesce; on this loss-free network the residue is only what was still
+  // in flight or queued at the sampling instant, so the bound stays tight.
+  for (auto* agent : population) agent->set_mobile(false);
+  simulator_.run_until(simulator_.now() + sim::SimTime::seconds(5));
+  const auto& stats = system_.stats();
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_GE(stats.messages_sent,
+            stats.messages_processed + stats.messages_bounced);
+  // Nearly everything has drained: allow only a handful of messages still
+  // riding timers (idle-merge probes and the like).
+  EXPECT_LE(stats.messages_sent -
+                (stats.messages_processed + stats.messages_bounced),
+            8u);
+}
+
+// A fixed-seed run with update batching enabled must be self-reproducible:
+// the batcher's timers and flush-time target resolution ride the same
+// deterministic event order as everything else.
+struct RunFingerprint {
+  std::uint64_t sent = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t found = 0;
+  std::uint64_t wrong = 0;
+  std::uint64_t latency_mean_bits = 0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint run_batched_once(std::uint64_t seed) {
+  util::Rng master(seed);
+  sim::Simulator simulator;
+  net::Network network(simulator, 6, net::make_default_lan_model(),
+                       master.fork());
+  platform::AgentSystem system(simulator, network);
+
+  core::MechanismConfig mechanism;
+  mechanism.update_batching = true;
+  mechanism.batch_flush_interval = sim::SimTime::millis(40);
+  core::HashLocationScheme scheme(system, mechanism);
+
+  std::vector<platform::AgentId> targets;
+  for (int i = 0; i < 24; ++i) {
+    TAgent::Config config;
+    config.residence = sim::SimTime::millis(150);
+    config.seed = master.next();
+    targets.push_back(
+        system.create<TAgent>(static_cast<net::NodeId>(i % 6), scheme, config)
+            .id());
+  }
+  QuerierAgent::Config qconfig;
+  qconfig.quota = 0;
+  qconfig.think = sim::SimTime::millis(25);
+  qconfig.seed = master.next();
+  auto& querier =
+      system.create<QuerierAgent>(1, scheme, qconfig, targets);
+  simulator.run_until(sim::SimTime::seconds(8));
+
+  RunFingerprint fingerprint;
+  fingerprint.sent = system.stats().messages_sent;
+  fingerprint.processed = system.stats().messages_processed;
+  fingerprint.flushes = system.stats().batch_flushes;
+  fingerprint.coalesced = system.stats().messages_coalesced;
+  fingerprint.found = querier.found();
+  fingerprint.wrong = querier.wrong_location();
+  const double mean = querier.latencies_ms().mean();
+  std::memcpy(&fingerprint.latency_mean_bits, &mean, sizeof(mean));
+  return fingerprint;
+}
+
+TEST(BatchedDeterminism, FixedSeedBatchedRunIsSelfReproducible) {
+  const RunFingerprint first = run_batched_once(91);
+  const RunFingerprint second = run_batched_once(91);
+  EXPECT_GT(first.flushes, 0u);
+  EXPECT_GT(first.coalesced, 0u);
+  EXPECT_GT(first.found, 0u);
+  EXPECT_EQ(first, second);
 }
 
 TEST_F(InvariantsTest, EntryConservationAcrossForcedMergeCycle) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -98,8 +99,46 @@ TEST(FlatMap, RandomOpsAgreeWithUnorderedMap) {
     const auto it = reference.find(probe);
     const int* found = map.find(probe);
     ASSERT_EQ(found != nullptr, it != reference.end());
-    if (found != nullptr) ASSERT_EQ(*found, it->second);
+    if (found != nullptr) {
+      ASSERT_EQ(*found, it->second);
+    }
   }
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce) {
+  Map map;
+  for (std::uint64_t k = 1; k <= 50; ++k) map.emplace(k, static_cast<int>(k));
+  std::unordered_map<std::uint64_t, int> seen;
+  map.for_each([&](std::uint64_t key, int value) {
+    EXPECT_TRUE(seen.emplace(key, value).second) << "visited twice: " << key;
+  });
+  EXPECT_EQ(seen.size(), 50u);
+  for (std::uint64_t k = 1; k <= 50; ++k) {
+    EXPECT_EQ(seen.at(k), static_cast<int>(k));
+  }
+}
+
+TEST(FlatMap, ForEachMutableCanRewriteValues) {
+  Map map;
+  for (std::uint64_t k = 1; k <= 10; ++k) map.emplace(k, 1);
+  map.for_each([](std::uint64_t, int& value) { value *= 3; });
+  for (std::uint64_t k = 1; k <= 10; ++k) EXPECT_EQ(map.at(k), 3);
+}
+
+TEST(FlatMap, CollectThenEraseMatchesForEachContract) {
+  // The documented erase-while-iterating pattern: collect keys during
+  // for_each, erase afterwards (the callback itself must not mutate).
+  Map map;
+  for (std::uint64_t k = 1; k <= 40; ++k) map.emplace(k, static_cast<int>(k));
+  std::vector<std::uint64_t> evens;
+  map.for_each([&](std::uint64_t key, int) {
+    if (key % 2 == 0) evens.push_back(key);
+  });
+  for (const auto key : evens) {
+    EXPECT_TRUE(map.erase(key));
+  }
+  EXPECT_EQ(map.size(), 20u);
+  map.for_each([](std::uint64_t key, int) { EXPECT_EQ(key % 2, 1u); });
 }
 
 }  // namespace

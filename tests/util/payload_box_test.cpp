@@ -1,0 +1,110 @@
+#include "util/payload_box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace agentloc::util {
+namespace {
+
+struct Small {
+  std::uint64_t a = 0;
+  std::uint32_t b = 0;
+};
+
+struct Large {
+  // Deliberately wider than the 48-byte inline capacity.
+  std::uint64_t words[9] = {};
+};
+
+static_assert(PayloadBox::stored_inline<Small>());
+static_assert(!PayloadBox::stored_inline<Large>());
+
+TEST(PayloadBox, EmptyBoxHoldsNothing) {
+  PayloadBox box;
+  EXPECT_FALSE(box.has_value());
+  EXPECT_EQ(box.get_if<Small>(), nullptr);
+  EXPECT_FALSE(box.holds<Small>());
+}
+
+TEST(PayloadBox, RoundTripsInlineValue) {
+  PayloadBox box(Small{7, 9});
+  ASSERT_TRUE(box.holds<Small>());
+  const Small* small = box.get_if<Small>();
+  ASSERT_NE(small, nullptr);
+  EXPECT_EQ(small->a, 7u);
+  EXPECT_EQ(small->b, 9u);
+  EXPECT_EQ(box.get_if<Large>(), nullptr);  // type mismatch, not a crash
+}
+
+TEST(PayloadBox, RoundTripsHeapValue) {
+  Large large;
+  large.words[8] = 42;
+  PayloadBox box(large);
+  ASSERT_TRUE(box.holds<Large>());
+  EXPECT_EQ(box.get_if<Large>()->words[8], 42u);
+}
+
+TEST(PayloadBox, CopyIsDeep) {
+  PayloadBox original(std::vector<int>{1, 2, 3});
+  PayloadBox copy(original);
+  ASSERT_NE(copy.get_if<std::vector<int>>(), nullptr);
+  copy.get_if<std::vector<int>>()->push_back(4);
+  EXPECT_EQ(original.get_if<std::vector<int>>()->size(), 3u);
+  EXPECT_EQ(copy.get_if<std::vector<int>>()->size(), 4u);
+}
+
+TEST(PayloadBox, MoveEmptiesTheSource) {
+  PayloadBox source(Small{1, 2});
+  PayloadBox target(std::move(source));
+  EXPECT_FALSE(source.has_value());
+  ASSERT_TRUE(target.holds<Small>());
+  EXPECT_EQ(target.get_if<Small>()->a, 1u);
+}
+
+TEST(PayloadBox, AssignmentReplacesValueAndType) {
+  PayloadBox box(Small{1, 2});
+  box = PayloadBox(std::string("hello"));
+  EXPECT_FALSE(box.holds<Small>());
+  ASSERT_TRUE(box.holds<std::string>());
+  EXPECT_EQ(*box.get_if<std::string>(), "hello");
+}
+
+TEST(PayloadBox, ResetDestroysHeldValue) {
+  auto witness = std::make_shared<int>(5);
+  std::weak_ptr<int> alive = witness;
+  PayloadBox box(std::move(witness));
+  EXPECT_FALSE(alive.expired());
+  box.reset();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_FALSE(box.has_value());
+}
+
+TEST(PayloadBox, HeapValueSurvivesManyMoves) {
+  Large large;
+  large.words[0] = 11;
+  PayloadBox box(large);
+  for (int i = 0; i < 8; ++i) {
+    PayloadBox next(std::move(box));
+    box = std::move(next);
+  }
+  ASSERT_TRUE(box.holds<Large>());
+  EXPECT_EQ(box.get_if<Large>()->words[0], 11u);
+}
+
+TEST(PayloadBox, DistinctTypesGetDistinctIdentity) {
+  struct A {
+    int x = 0;
+  };
+  struct B {
+    int x = 0;
+  };
+  PayloadBox box(A{3});
+  EXPECT_TRUE(box.holds<A>());
+  EXPECT_FALSE(box.holds<B>());  // same layout, different type
+}
+
+}  // namespace
+}  // namespace agentloc::util

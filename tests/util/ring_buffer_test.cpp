@@ -1,0 +1,90 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace agentloc::util {
+namespace {
+
+TEST(RingBuffer, StartsEmptyWithNoCapacity) {
+  RingBuffer<int> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);  // no slab until the first push
+}
+
+TEST(RingBuffer, FifoOrderPreserved) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 5; ++i) ring.push_back(i);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ring.front(), i);
+    EXPECT_EQ(ring.pop_front(), i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, WrapsAroundWithoutGrowing) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 8; ++i) ring.push_back(i);
+  const std::size_t capacity = ring.capacity();
+  // Drain half, refill: head wraps past the end of the slab.
+  for (int i = 0; i < 4; ++i) ring.pop_front();
+  for (int i = 8; i < 12; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.capacity(), capacity);
+  for (int i = 4; i < 12; ++i) EXPECT_EQ(ring.pop_front(), i);
+}
+
+TEST(RingBuffer, GrowPreservesOrderAcrossWrap) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 8; ++i) ring.push_back(i);
+  for (int i = 0; i < 5; ++i) ring.pop_front();
+  for (int i = 8; i < 13; ++i) ring.push_back(i);  // wrapped layout
+  // Next pushes force a grow while head != 0.
+  for (int i = 13; i < 20; ++i) ring.push_back(i);
+  EXPECT_GT(ring.capacity(), 8u);
+  for (int i = 5; i < 20; ++i) EXPECT_EQ(ring.pop_front(), i);
+}
+
+TEST(RingBuffer, DrainingRetainsCapacity) {
+  RingBuffer<int> ring;
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  const std::size_t capacity = ring.capacity();
+  while (!ring.empty()) ring.pop_front();
+  EXPECT_EQ(ring.capacity(), capacity);  // the slab is kept for reuse
+}
+
+TEST(RingBuffer, ClearReleasesHeldValues) {
+  RingBuffer<std::shared_ptr<int>> ring;
+  auto witness = std::make_shared<int>(1);
+  std::weak_ptr<int> alive = witness;
+  ring.push_back(std::move(witness));
+  ring.clear();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_TRUE(ring.empty());
+  EXPECT_GT(ring.capacity(), 0u);
+}
+
+TEST(RingBuffer, MoveTransfersSlabAndEmptiesSource) {
+  RingBuffer<std::string> ring;
+  ring.push_back("a");
+  ring.push_back("b");
+  RingBuffer<std::string> taken(std::move(ring));
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 0u);
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken.pop_front(), "a");
+  EXPECT_EQ(taken.pop_front(), "b");
+}
+
+TEST(RingBuffer, MoveOnlyValuesFlowThrough) {
+  RingBuffer<std::unique_ptr<int>> ring;
+  ring.push_back(std::make_unique<int>(9));
+  auto out = ring.pop_front();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 9);
+}
+
+}  // namespace
+}  // namespace agentloc::util
