@@ -16,6 +16,9 @@ agentloc_add_bench(bench_experiment2 bench_experiment2.cpp agentloc_workload)
 agentloc_add_bench(bench_hashtree_micro bench_hashtree_micro.cpp agentloc_hashtree)
 target_link_libraries(bench_hashtree_micro PRIVATE benchmark::benchmark)
 
+agentloc_add_bench(bench_rehash_micro bench_rehash_micro.cpp agentloc_hashtree)
+target_link_libraries(bench_rehash_micro PRIVATE benchmark::benchmark)
+
 agentloc_add_bench(bench_sim_micro bench_sim_micro.cpp agentloc_sim)
 target_link_libraries(bench_sim_micro PRIVATE benchmark::benchmark)
 

@@ -68,6 +68,12 @@ struct MechanismConfig {
   /// How many tree operations the coordinator's journal retains.
   std::size_t journal_capacity = 512;
 
+  /// Encoded-size bound on the same journal (0 = op-count bound only):
+  /// crossing it truncates the oldest ops in one batch, so churn storms
+  /// cannot grow the primary's delta memory without limit. Refreshers older
+  /// than the truncation point fall back to full snapshots.
+  std::size_t journal_max_bytes = 64 * 1024;
+
   /// Largest number of entries shipped in one HandoffTransfer message;
   /// bigger tables move as a chain of batches (final_batch marks the last).
   std::size_t max_handoff_batch = 64;

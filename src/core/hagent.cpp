@@ -11,7 +11,8 @@
 namespace agentloc::core {
 
 HAgent::HAgent(const MechanismConfig& config)
-    : config_(config), journal_(config.journal_capacity) {}
+    : config_(config),
+      journal_(config.journal_capacity, config.journal_max_bytes) {}
 
 std::vector<platform::AgentAddress> HAgent::coordinator_list() const {
   std::vector<platform::AgentAddress> list{
@@ -70,6 +71,13 @@ void HAgent::replicate(const hashtree::TreeOp& op) {
   message.op_bytes = std::move(writer).take();
   const std::size_t bytes = message.wire_bytes();
   system().send(id(), *backup_, std::move(message), bytes);
+}
+
+void HAgent::record_op(const hashtree::TreeOp& op) {
+  journal_.record(tree_->version(), op);
+  stats_.journal_bytes = journal_.bytes();
+  stats_.journal_compactions = journal_.truncations();
+  replicate(op);
 }
 
 void HAgent::handle_replicate(const ReplicateOp& replicate) {
@@ -131,14 +139,15 @@ void HAgent::handle_pull(const platform::Message& message,
   HashPullReply reply;
 
   // Prefer a delta when the journal still covers the requester's version —
-  // an O(changes) payload instead of an O(tree) one.
+  // an O(changes) payload instead of an O(tree) one. Both widths are known
+  // analytically, so the loser is never serialized at all.
   if (config_.delta_refresh && !request.force_full) {
     if (const auto delta = journal_.since(request.have_version)) {
-      util::ByteWriter writer;
-      delta->serialize(writer);
-      if (writer.size() < tree_->serialized_bytes()) {
+      if (delta->serialized_bytes() < tree_->serialized_bytes()) {
         ++stats_.delta_pulls_served;
         reply.is_delta = true;
+        util::ByteWriter writer;
+        delta->serialize(writer);
         reply.payload = std::move(writer).take();
         const std::size_t bytes = reply.wire_bytes();
         system().reply(message, id(), std::move(reply), bytes);
@@ -245,8 +254,7 @@ void HAgent::handle_split(const platform::Message& message,
     op.m = static_cast<std::uint32_t>(plan.simple_m);
     tree_->simple_split(victim, plan.simple_m, fresh.id(), new_node);
   }
-  journal_.record(tree_->version(), op);
-  replicate(op);
+  record_op(op);
 
   const Predicate fresh_predicate = predicate_of(*tree_, fresh.id());
   std::vector<hashtree::IAgentId> affected;
@@ -299,8 +307,7 @@ void HAgent::handle_merge(const platform::Message& message,
   hashtree::TreeOp op;
   op.kind = hashtree::TreeOp::Kind::kMerge;
   op.victim = victim;
-  journal_.record(tree_->version(), op);
-  replicate(op);
+  record_op(op);
   if (result.kind == hashtree::MergeResult::Kind::kSimple) {
     ++stats_.simple_merges;
   } else {
@@ -364,8 +371,7 @@ void HAgent::handle_moved(const IAgentMoved& moved) {
   op.kind = hashtree::TreeOp::Kind::kSetLocation;
   op.victim = moved.iagent;
   op.location = moved.node;
-  journal_.record(tree_->version(), op);
-  replicate(op);
+  record_op(op);
 }
 
 net::NodeId HAgent::place_new_iagent() {

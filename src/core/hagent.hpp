@@ -26,6 +26,8 @@ struct HAgentStats {
   std::uint64_t rehashes_rejected = 0;  ///< busy, stale, or last-leaf guard
   std::uint64_t rehash_timeouts = 0;
   std::uint64_t iagent_moves = 0;
+  std::uint64_t journal_bytes = 0;        ///< encoded size of the retained ops
+  std::uint64_t journal_compactions = 0;  ///< bound-forced truncation events
 };
 
 /// Hash Agent (paper §2.2): the static agent holding the *primary copy* of
@@ -112,6 +114,11 @@ class HAgent : public platform::Agent {
 
   /// Stream one journaled op to the backup, if any.
   void replicate(const hashtree::TreeOp& op);
+
+  /// Journal the op that produced the current tree version, refresh the
+  /// journal stats, and stream it to the backup — the one post-mutation path
+  /// shared by splits, merges, and location changes.
+  void record_op(const hashtree::TreeOp& op);
 
   /// Follower: pull a full snapshot from the primary (op gap detected).
   void resync_from_primary();

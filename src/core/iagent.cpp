@@ -239,23 +239,14 @@ void IAgent::handle_retire(const RetireOrder& order) {
   watchers_.clear();  // watchers re-arm via their client-side timeout
 
   // Partition the table across the routes (each entry matches exactly one
-  // leaf predicate of the new hash function). Recompile the route
-  // predicates first — they arrive in wire form.
+  // leaf predicate of the new hash function) in a single pass. Recompile the
+  // route predicates first — they arrive in wire form.
   std::vector<Predicate> route_predicates(order.routes.size());
   for (std::size_t r = 0; r < order.routes.size(); ++r) {
     route_predicates[r] = order.routes[r].predicate;
     route_predicates[r].compile();
   }
-  auto entries = table_.extract_all();
-  std::vector<std::vector<LocationEntry>> batches(order.routes.size());
-  for (const LocationEntry& entry : entries) {
-    for (std::size_t r = 0; r < order.routes.size(); ++r) {
-      if (route_predicates[r].matches(entry.agent)) {
-        batches[r].push_back(entry);
-        break;
-      }
-    }
-  }
+  auto batches = table_.drain_partition(route_predicates);
 
   retire_outstanding_ = 0;
   for (std::size_t r = 0; r < order.routes.size(); ++r) {
@@ -365,9 +356,8 @@ void IAgent::maybe_request_rehash() {
 void IAgent::consider_locality_migration() {
   if (retiring_ || table_.size() == 0) return;
   std::unordered_map<net::NodeId, std::size_t> per_node;
-  for (const LocationEntry& entry : table_.snapshot()) {
-    ++per_node[entry.node];
-  }
+  table_.for_each(
+      [&](const LocationEntry& entry) { ++per_node[entry.node]; });
   net::NodeId best = node();
   std::size_t best_count = 0;
   for (const auto& [where, count] : per_node) {

@@ -38,15 +38,17 @@ std::optional<LocationEntry> LocationTable::find(
 
 std::vector<LocationEntry> LocationTable::extract_matching(
     const Predicate& predicate) {
-  // Collect first, erase after: FlatMap iteration must not race its own
-  // backward-shift deletion.
+  // Single pass: `extract_if` moves every match out and recompacts the
+  // survivors with one rehash, so a split-time handoff costs O(table) flat
+  // instead of collect-then-erase (one probe-and-shift per moved record).
   std::vector<LocationEntry> extracted;
-  entries_.for_each([&](platform::AgentId agent, const Stored& stored) {
-    if (predicate.matches(agent)) {
-      extracted.push_back(LocationEntry{agent, stored.node, stored.seq});
-    }
-  });
-  for (const LocationEntry& entry : extracted) entries_.erase(entry.agent);
+  entries_.extract_if(
+      [&](platform::AgentId agent, const Stored&) {
+        return predicate.matches(agent);
+      },
+      [&](platform::AgentId agent, Stored&& stored) {
+        extracted.push_back(LocationEntry{agent, stored.node, stored.seq});
+      });
   return extracted;
 }
 
@@ -58,6 +60,21 @@ std::vector<LocationEntry> LocationTable::extract_all() {
   });
   entries_.clear();
   return extracted;
+}
+
+std::vector<std::vector<LocationEntry>> LocationTable::drain_partition(
+    const std::vector<Predicate>& predicates) {
+  std::vector<std::vector<LocationEntry>> batches(predicates.size());
+  entries_.for_each([&](platform::AgentId agent, const Stored& stored) {
+    for (std::size_t r = 0; r < predicates.size(); ++r) {
+      if (predicates[r].matches(agent)) {
+        batches[r].push_back(LocationEntry{agent, stored.node, stored.seq});
+        break;
+      }
+    }
+  });
+  entries_.clear();
+  return batches;
 }
 
 std::vector<LocationEntry> LocationTable::snapshot() const {

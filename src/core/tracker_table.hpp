@@ -45,7 +45,21 @@ class LocationTable {
   /// Remove and return everything (retirement).
   std::vector<LocationEntry> extract_all();
 
+  /// Retirement handoff: empty the table, partitioned across `predicates`
+  /// (first match wins; entries matching none are dropped). One pass over
+  /// the table — no intermediate extract-everything vector.
+  std::vector<std::vector<LocationEntry>> drain_partition(
+      const std::vector<Predicate>& predicates);
+
   std::vector<LocationEntry> snapshot() const;
+
+  /// Visit every entry without materializing a snapshot.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    entries_.for_each([&](platform::AgentId agent, const Stored& stored) {
+      fn(LocationEntry{agent, stored.node, stored.seq});
+    });
+  }
 
  private:
   struct Stored {

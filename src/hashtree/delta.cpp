@@ -32,6 +32,14 @@ void serialize_op(util::ByteWriter& writer, const TreeOp& op) {
   writer.write_u32(op.location);
 }
 
+std::size_t serialized_op_bytes(const TreeOp& op) {
+  // Mirror of `serialize_op`: flag byte, five varints, u32 location.
+  return 1 + util::varint_size(op.victim) + util::varint_size(op.m) +
+         util::varint_size(op.point.segment) +
+         util::varint_size(op.point.bit) +
+         util::varint_size(op.new_iagent) + 4;
+}
+
 TreeOp deserialize_op(util::ByteReader& reader) {
   TreeOp op;
   const std::uint8_t kind = reader.read_u8();
@@ -75,15 +83,26 @@ TreeDelta TreeDelta::deserialize(util::ByteReader& reader) {
 }
 
 std::size_t TreeDelta::serialized_bytes() const {
-  util::ByteWriter writer;
-  serialize(writer);
-  return writer.size();
+  std::size_t bytes = 4 + util::varint_size(base_version) +
+                      util::varint_size(target_version) +
+                      util::varint_size(ops.size());
+  for (const TreeOp& op : ops) bytes += serialized_op_bytes(op);
+  return bytes;
 }
 
 void TreeDelta::apply_to(HashTree& tree) const {
   if (tree.version() != base_version) {
     throw std::logic_error("TreeDelta: tree is not at the base version");
   }
+  // Pre-size the leaf index for the replay's net growth, then replay in one
+  // pass. Each mutation maintains the leaf index and patches a fresh
+  // compiled router inline, so nothing is rebuilt afterwards.
+  std::size_t splits = 0;
+  for (const TreeOp& op : ops) {
+    splits += op.kind == TreeOp::Kind::kSimpleSplit ||
+              op.kind == TreeOp::Kind::kComplexSplit;
+  }
+  tree.reserve_leaves(tree.leaf_count() + splits);
   for (const TreeOp& op : ops) apply_op(tree, op);
   if (tree.version() != target_version) {
     throw std::logic_error("TreeDelta: replay did not reach target version");
@@ -95,13 +114,30 @@ void TreeJournal::record(std::uint64_t version_after, TreeOp op) {
     // A gap (e.g. an unrecorded mutation): the journal can no longer prove
     // continuity, so restart from here.
     ops_.clear();
+    bytes_ = 0;
   }
   head_version_ = version_after;
+  bytes_ += serialized_op_bytes(op);
   ops_.push_back(std::move(op));
-  if (ops_.size() > capacity_) {
-    ops_.erase(ops_.begin(),
-               ops_.begin() + static_cast<std::ptrdiff_t>(ops_.size() -
-                                                          capacity_));
+
+  // Enforce both bounds by truncating from the oldest end; one batched
+  // erase per crossing, counted once however many ops it drops. At least
+  // the newest op is always retained.
+  std::size_t drop = ops_.size() > capacity_ ? ops_.size() - capacity_ : 0;
+  std::size_t kept_bytes = bytes_;
+  for (std::size_t i = 0; i < drop; ++i) {
+    kept_bytes -= serialized_op_bytes(ops_[i]);
+  }
+  if (max_bytes_ > 0) {
+    while (drop + 1 < ops_.size() && kept_bytes > max_bytes_) {
+      kept_bytes -= serialized_op_bytes(ops_[drop]);
+      ++drop;
+    }
+  }
+  if (drop > 0) {
+    ops_.erase(ops_.begin(), ops_.begin() + static_cast<std::ptrdiff_t>(drop));
+    bytes_ = kept_bytes;
+    ++truncations_;
   }
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hashtree/router.hpp"
 #include "hashtree/tree.hpp"
 
 namespace agentloc::hashtree {
@@ -17,6 +18,13 @@ void HashTree::simple_split(IAgentId victim, std::size_t m,
     throw std::invalid_argument("simple_split: bad new IAgent id");
   }
   Node* leaf = leaf_for(victim);
+  CompiledRouter* router = patchable_router();
+  // The new internal node discriminates on the m-th not-yet-used bit: the
+  // victim's pre-split depth plus the m-1 padding bits recorded below.
+  const std::uint32_t split_bit_pos =
+      router != nullptr
+          ? consumed_bits(leaf) + static_cast<std::uint32_t>(m) - 1
+          : 0;
 
   // Splitting "on the m-th bit": the m-1 bits before it stop discriminating
   // and are recorded as padding on the incoming edge (root padding when the
@@ -43,6 +51,10 @@ void HashTree::simple_split(IAgentId victim, std::size_t m,
   leaf->child[0] = std::move(zero);
   leaf->child[1] = std::move(one);
   bump_version();
+  if (router != nullptr) {
+    router->patch_simple_split(victim, split_bit_pos, new_iagent,
+                               new_location, version_);
+  }
 }
 
 std::vector<SplitPoint> HashTree::complex_split_candidates(
@@ -95,6 +107,17 @@ void HashTree::complex_split(IAgentId victim, const SplitPoint& point,
     throw std::out_of_range("complex_split: bit is not a padding bit");
   }
 
+  // Patch parameters, captured before the structure moves: how far above the
+  // victim's leaf the split edge sits, and the absolute id-bit position the
+  // reclaimed padding bit discriminates on.
+  CompiledRouter* router = patchable_router();
+  const auto steps_up =
+      static_cast<std::uint32_t>(path_nodes.size() - 1 - point.segment);
+  std::uint32_t reclaimed_pos = static_cast<std::uint32_t>(j);
+  for (std::size_t s = 0; s < point.segment; ++s) {
+    reclaimed_pos += static_cast<std::uint32_t>(path_nodes[s]->label.size());
+  }
+
   // The reclaimed bit becomes the valid bit of the relocated subtree's edge;
   // the new leaf sits on the complementary side with identical trailing
   // padding (the trailing bits are wildcards either way).
@@ -140,6 +163,10 @@ void HashTree::complex_split(IAgentId victim, const SplitPoint& point,
     u->child[side ? 1 : 0] = std::move(w);
   }
   bump_version();
+  if (router != nullptr) {
+    router->patch_complex_split(victim, steps_up, reclaimed, reclaimed_pos,
+                                new_iagent, new_location, version_);
+  }
 }
 
 MergeResult HashTree::merge(IAgentId victim) {
@@ -147,6 +174,7 @@ MergeResult HashTree::merge(IAgentId victim) {
   if (leaf == root_.get()) {
     throw std::logic_error("merge: cannot merge the last IAgent");
   }
+  CompiledRouter* router = patchable_router();
   Node* parent = leaf->parent;
   const bool side = leaf->label.front();
   Node* sibling = parent->child[side ? 0 : 1].get();
@@ -181,6 +209,9 @@ MergeResult HashTree::merge(IAgentId victim) {
     parent->child[1] = std::move(c1);
   }
   bump_version();
+  // The router resolves simple vs. complex from its own structure (its
+  // sibling entry mirrors the node sibling checked above).
+  if (router != nullptr) router->patch_merge(victim, version_);
   return result;
 }
 

@@ -109,9 +109,25 @@ HashTree HashTree::deserialize(util::ByteReader& reader) {
 }
 
 std::size_t HashTree::serialized_bytes() const {
-  util::ByteWriter writer;
-  serialize(writer);
-  return writer.size();
+  // Mirror of `serialize` that only sums encoded widths: one flag byte and a
+  // length-prefixed packed label per node, plus {varint iagent, u32 location}
+  // per leaf. No buffer is materialized, so the HAgent can weigh a delta
+  // against a snapshot on every pull without serializing either first.
+  std::size_t bytes = 4 + util::varint_size(version_);
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    bytes += 1 + util::varint_size(node->label.size()) +
+             (node->label.size() + 7) / 8;
+    if (node->is_leaf()) {
+      bytes += util::varint_size(node->iagent) + 4;
+    } else {
+      stack.push_back(node->child[1].get());
+      stack.push_back(node->child[0].get());
+    }
+  }
+  return bytes;
 }
 
 }  // namespace agentloc::hashtree

@@ -13,7 +13,8 @@
 #define __has_feature(x) 0
 #endif
 #if defined(AGENTLOC_SANITIZE) || defined(__SANITIZE_ADDRESS__) || \
-    __has_feature(address_sanitizer)
+    defined(__SANITIZE_THREAD__) || __has_feature(address_sanitizer) || \
+    __has_feature(thread_sanitizer)
 #define AGENTLOC_NODE_POOL 0
 #else
 #define AGENTLOC_NODE_POOL 1
@@ -220,6 +221,20 @@ const CompiledRouter& HashTree::router() const {
   return *router_;
 }
 
+CompiledRouter* HashTree::patchable_router() noexcept {
+  return incremental_router_ && router_ != nullptr && router_->fresh(*this)
+             ? router_.get()
+             : nullptr;
+}
+
+std::uint32_t HashTree::consumed_bits(const Node* leaf) noexcept {
+  std::uint32_t bits = 0;
+  for (const Node* node = leaf; node != nullptr; node = node->parent) {
+    bits += static_cast<std::uint32_t>(node->label.size());
+  }
+  return bits;
+}
+
 HashTree::Target HashTree::lookup(const util::BitString& id_bits) const {
   return router().route(id_bits);
 }
@@ -257,8 +272,10 @@ NodeLocation HashTree::location_of(IAgentId leaf) const {
 }
 
 void HashTree::set_location(IAgentId leaf, NodeLocation location) {
+  CompiledRouter* router = patchable_router();
   leaf_for(leaf)->location = location;
   bump_version();
+  if (router != nullptr) router->patch_set_location(leaf, location, version_);
 }
 
 std::vector<const HashTree::Node*> HashTree::path_to(const Node* leaf) const {

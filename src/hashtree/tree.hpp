@@ -71,7 +71,10 @@ class CompiledRouter;
 ///
 /// The class is a value type: LHAgents hold deep copies of the HAgent's
 /// primary instance. Every mutation bumps `version()`, which is the staleness
-/// token the paper's update-propagation protocol compares.
+/// token the paper's update-propagation protocol compares. A mutation whose
+/// tree holds a fresh compiled router additionally patches the router in
+/// place (O(path), DESIGN.md §11), so the read path survives rehash storms
+/// without going cold.
 class HashTree {
  public:
   /// A tree with a single leaf: one IAgent responsible for every agent.
@@ -104,11 +107,23 @@ class HashTree {
   /// bit-for-bit with `compatible`.
   Target lookup_walk(const util::BitString& id_bits) const;
 
-  /// The compiled read path, recompiled lazily when `version()` has moved
-  /// since the last compile. Note this lazily mutates internal state:
-  /// concurrent first-lookups on a shared stale tree would race (each sim
-  /// instance is single-threaded; parallel sweeps clone per worker).
+  /// The compiled read path. While the router is fresh every mutation keeps
+  /// it fresh by patching (see class comment); this call recompiles only
+  /// when the router is cold (first lookup, copies, deserialized trees,
+  /// fragmentation-triggered compaction). Note this lazily mutates internal
+  /// state: concurrent first-lookups on a shared stale tree would race
+  /// (each sim instance is single-threaded; parallel sweeps clone per
+  /// worker).
   const CompiledRouter& router() const;
+
+  /// Disable (or re-enable) in-place router patching. With patching off,
+  /// every mutation leaves the router stale and the next lookup pays a full
+  /// O(tree) recompile — the pre-incremental behaviour, kept reachable so
+  /// benches and equivalence tests can compare the two write paths.
+  void set_incremental_router(bool enabled) noexcept {
+    incremental_router_ = enabled;
+  }
+  bool incremental_router() const noexcept { return incremental_router_; }
 
   /// The paper's compatibility predicate (§3, Figure 2): true when the valid
   /// bit of every label in the leaf's hyper-label equals the id bit at that
@@ -124,6 +139,11 @@ class HashTree {
   bool contains(IAgentId leaf) const noexcept {
     return leaf_index_.contains(leaf);
   }
+
+  /// Pre-size the leaf index for an expected population — delta replays
+  /// know their net split count up front and would otherwise rehash the
+  /// index repeatedly while growing.
+  void reserve_leaves(std::size_t leaves) { leaf_index_.reserve(leaves); }
 
   /// Node currently hosting the given IAgent. Throws if unknown.
   NodeLocation location_of(IAgentId leaf) const;
@@ -221,7 +241,9 @@ class HashTree {
   static HashTree deserialize(util::ByteReader& reader);
 
   /// Serialized size in bytes — what the HAgent ships to a refreshing
-  /// LHAgent.
+  /// LHAgent. Computed analytically (one allocation-free node walk, no
+  /// actual serialization), so callers can compare delta vs. snapshot cost
+  /// before encoding either.
   std::size_t serialized_bytes() const;
 
   /// Structural equality (labels, leaves, locations; version included).
@@ -267,6 +289,17 @@ class HashTree {
   std::vector<const Node*> path_to(const Node* leaf) const;
   void bump_version() noexcept { ++version_; }
 
+  /// The router, iff it exists and is compiled for the *current* version —
+  /// i.e. a mutation performed now may patch it and advance it in lockstep.
+  /// Null when patching is disabled, the router is cold, stale, or flagged
+  /// for compaction (then the mutation leaves it stale and the next lookup
+  /// recompiles).
+  CompiledRouter* patchable_router() noexcept;
+
+  /// Id bits consumed to reach `leaf` (its depth), as a patch-time helper:
+  /// sums label widths up the parent chain without materializing segments.
+  static std::uint32_t consumed_bits(const Node* leaf) noexcept;
+
   void validate_node(const Node* node, const Node* parent,
                      std::size_t depth) const;
 
@@ -278,9 +311,10 @@ class HashTree {
   /// that bookkeeping the dominant cost of both paths.
   util::FlatMap<IAgentId, Node*, kNoIAgent> leaf_index_;
   std::uint64_t version_ = 1;
-  /// Lazily (re)compiled read path; never copied (copies start cold), moved
-  /// along with the structure it was compiled from.
+  /// Lazily compiled, then *patched* read path; never copied (copies start
+  /// cold), moved along with the structure it was compiled from.
   mutable std::unique_ptr<CompiledRouter> router_;
+  bool incremental_router_ = true;
 };
 
 }  // namespace agentloc::hashtree

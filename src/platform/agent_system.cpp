@@ -222,6 +222,18 @@ void AgentSystem::request(AgentId from, const AgentAddress& to,
   if (sender == nullptr || sender->state != State::kActive) {
     throw std::logic_error("AgentSystem::request: sender not active");
   }
+  if (sender->disposing) {
+    // drop_rpcs_from already ran for this agent, so an RPC registered now
+    // would never be dropped and its callback would fire after the agent is
+    // destroyed (retry loops reach here when a drop-induced failure resends
+    // from inside dispose). Fail synchronously while the agent is alive;
+    // retry chains then burn their attempts and give up reentrantly.
+    ++stats_.rpc_delivery_failures;
+    RpcResult result;
+    result.status = RpcResult::Status::kDeliveryFailure;
+    callback(std::move(result));
+    return;
+  }
   const net::NodeId from_node = sender->agent->node();
   const std::uint64_t correlation = ++correlation_counter_;
 

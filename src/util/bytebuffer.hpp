@@ -9,6 +9,17 @@
 
 namespace agentloc::util {
 
+/// Encoded width of `write_varint(value)` in bytes, without writing it —
+/// lets size-based decisions (delta vs. snapshot) run before any encoding.
+constexpr std::size_t varint_size(std::uint64_t value) noexcept {
+  std::size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
 /// Append-only binary writer with varint encoding.
 ///
 /// The platform charges migration and messaging latency per serialized byte,

@@ -63,6 +63,30 @@ class FlatMap {
     }
   }
 
+  /// Remove every entry matching `pred(key, value)` in one pass, handing
+  /// each removed pair to `sink(key, std::move(value))`. Survivors are
+  /// recompacted by one in-place rehash — O(capacity) total however the
+  /// matches are distributed, instead of one backward-shift erase per match.
+  /// Returns the number of entries removed.
+  template <typename Pred, typename Sink>
+  std::size_t extract_if(Pred&& pred, Sink&& sink) {
+    std::size_t removed = 0;
+    for (Slot& slot : slots_) {
+      if (slot.key == kEmptyKey || !pred(slot.key, slot.value)) continue;
+      sink(slot.key, std::move(slot.value));
+      slot.key = kEmptyKey;
+      slot.value = Value{};
+      ++removed;
+    }
+    if (removed > 0) {
+      size_ -= removed;
+      // The holes break linear-probe chains; one rehash restores every
+      // survivor's reachability from its home slot.
+      rehash(slots_.size());
+    }
+    return removed;
+  }
+
   Value* find(Key key) noexcept {
     const std::size_t idx = locate(key);
     return idx != kNotFound ? &slots_[idx].value : nullptr;

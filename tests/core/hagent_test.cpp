@@ -192,6 +192,19 @@ TEST_F(HAgentTest, SplitRequestGrowsTheTree) {
   EXPECT_EQ(iagent(fresh_id).predicate().valid_bits.size(), 1u);
 }
 
+TEST_F(HAgentTest, JournalStatsTrackRecordedOps) {
+  EXPECT_EQ(hagent_->stats().journal_bytes, 0u);
+  send_as(first_iagent_, even_split_request(),
+          even_split_request().wire_bytes());
+  cluster_.run_for(sim::SimTime::millis(100));
+  ASSERT_EQ(hagent_->stats().simple_splits, 1u);
+  // One op journaled; its encoded width is a handful of bytes, no
+  // truncation anywhere near the 64 KiB default bound.
+  EXPECT_GT(hagent_->stats().journal_bytes, 0u);
+  EXPECT_LT(hagent_->stats().journal_bytes, 64u);
+  EXPECT_EQ(hagent_->stats().journal_compactions, 0u);
+}
+
 TEST_F(HAgentTest, SplitFromUnknownSenderRejected) {
   send_as(client_->id(), even_split_request(),
           even_split_request().wire_bytes());

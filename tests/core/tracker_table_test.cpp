@@ -55,6 +55,64 @@ TEST(LocationTable, ExtractMatchingPartitions) {
   EXPECT_TRUE(table.contains(0x0000000000000001ull));
 }
 
+TEST(LocationTable, ExtractMatchingEquivalentToPerEntryScan) {
+  // The single-pass bulk extraction must move exactly the entries a
+  // per-entry `matches` scan would, whatever the table's probe layout.
+  util::Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    LocationTable table;
+    std::vector<LocationEntry> all;
+    const std::size_t population = 1 + rng.next_below(200);
+    for (std::size_t i = 0; i < population; ++i) {
+      const LocationEntry entry{rng.next() | 1, // never kNoAgent
+                                static_cast<net::NodeId>(rng.next_below(8)),
+                                1};
+      if (table.apply(entry)) all.push_back(entry);
+    }
+    Predicate predicate;
+    predicate.valid_bits.emplace_back(rng.next_below(4), rng.chance(0.5));
+    predicate.valid_bits.emplace_back(4 + rng.next_below(4), rng.chance(0.5));
+    predicate.compile();
+
+    std::size_t expected_moved = 0;
+    for (const LocationEntry& entry : all) {
+      expected_moved += predicate.matches(entry.agent);
+    }
+    const auto moved = table.extract_matching(predicate);
+    EXPECT_EQ(moved.size(), expected_moved);
+    EXPECT_EQ(table.size(), all.size() - expected_moved);
+    for (const LocationEntry& entry : moved) {
+      EXPECT_TRUE(predicate.matches(entry.agent));
+      EXPECT_FALSE(table.contains(entry.agent));
+    }
+    for (const LocationEntry& entry : all) {
+      if (!predicate.matches(entry.agent)) {
+        EXPECT_EQ(table.find(entry.agent)->node, entry.node);
+      }
+    }
+  }
+}
+
+TEST(LocationTable, DrainPartitionSplitsByFirstMatchingRoute) {
+  LocationTable table;
+  Predicate top_set;  // bit 0 == 1
+  top_set.valid_bits.emplace_back(0, true);
+  top_set.compile();
+  Predicate all;  // matches everything (a root leaf's predicate)
+  all.compile();
+
+  table.apply(LocationEntry{0x8000000000000001ull, 1, 1});
+  table.apply(LocationEntry{0x0000000000000001ull, 2, 1});
+  table.apply(LocationEntry{0xffffffffffffffffull, 3, 1});
+
+  const auto batches = table.drain_partition({top_set, all});
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 2u);  // first match wins: top-bit entries
+  EXPECT_EQ(batches[1].size(), 1u);
+  EXPECT_EQ(batches[1][0].agent, 0x0000000000000001ull);
+  EXPECT_EQ(table.size(), 0u);
+}
+
 TEST(LocationTable, ExtractAllEmpties) {
   LocationTable table;
   table.apply(LocationEntry{1, 1, 1});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "hashtree/paper_figures.hpp"
+#include "hashtree/router.hpp"
 #include "util/rng.hpp"
 
 namespace agentloc::hashtree {
@@ -152,6 +153,98 @@ TEST(TreeJournal, ForgetsBeyondCapacity) {
   EXPECT_TRUE(journal.since(tree.version()).has_value());  // empty delta
   EXPECT_EQ(journal.since(tree.version())->ops.size(), 0u);
   EXPECT_FALSE(journal.since(tree.version() + 1).has_value());  // future
+}
+
+TEST(TreeJournal, TracksEncodedBytes) {
+  TreeJournal journal(16);
+  HashTree tree(1, 0);
+  const std::uint64_t base = tree.version();
+  std::size_t expected = 0;
+  for (IAgentId fresh = 2; fresh <= 6; ++fresh) {
+    const TreeOp op = simple_split_op(1, 1, fresh, 0);
+    apply_op(tree, op);
+    journal.record(tree.version(), op);
+    expected += serialized_op_bytes(op);
+  }
+  EXPECT_EQ(journal.bytes(), expected);
+  EXPECT_EQ(journal.truncations(), 0u);
+
+  // The analytic per-op width must match the real encoder.
+  const auto delta = journal.since(base);
+  ASSERT_TRUE(delta.has_value());
+  util::ByteWriter writer;
+  for (const TreeOp& op : delta->ops) serialize_op(writer, op);
+  EXPECT_EQ(writer.size(), expected);
+}
+
+TEST(TreeJournal, ByteBoundTruncatesOldestInOneBatch) {
+  const TreeOp probe = simple_split_op(1, 1, 2, 0);
+  const std::size_t op_bytes = serialized_op_bytes(probe);
+
+  // Capacity is generous; the byte bound (room for 4 ops) is what binds.
+  TreeJournal journal(1024, 4 * op_bytes);
+  HashTree tree(1, 0);
+  for (IAgentId fresh = 2; fresh <= 11; ++fresh) {
+    const TreeOp op = simple_split_op(1, 1, fresh, 0);
+    apply_op(tree, op);
+    journal.record(tree.version(), op);
+    EXPECT_LE(journal.bytes(), 4 * op_bytes);
+  }
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.truncations(), 6u);  // one event per overflowing record
+  EXPECT_FALSE(journal.since(tree.version() - 5).has_value());
+  const auto delta = journal.since(tree.version() - 4);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->ops.size(), 4u);
+}
+
+TEST(TreeJournal, ByteBoundAlwaysKeepsNewestOp) {
+  const TreeOp probe = simple_split_op(1, 1, 2, 0);
+  // Bound smaller than a single op: each record immediately truncates down
+  // to just the newest op instead of emptying the journal.
+  TreeJournal journal(8, serialized_op_bytes(probe) / 2);
+  HashTree tree(1, 0);
+  for (IAgentId fresh = 2; fresh <= 4; ++fresh) {
+    const TreeOp op = simple_split_op(1, 1, fresh, 0);
+    apply_op(tree, op);
+    journal.record(tree.version(), op);
+    EXPECT_EQ(journal.size(), 1u);
+  }
+  EXPECT_TRUE(journal.since(tree.version() - 1).has_value());
+  EXPECT_FALSE(journal.since(tree.version() - 2).has_value());
+}
+
+TEST(TreeDelta, ReplayPatchesWarmRouterWithoutRebuild) {
+  HashTree primary(1, 0);
+  HashTree secondary = primary;
+  (void)secondary.lookup_id(1);  // warm the secondary's router
+  const std::uint64_t rebuilds = secondary.router().rebuilds();
+
+  TreeJournal journal(64);
+  util::Rng rng(3);
+  IAgentId next = 2;
+  for (int i = 0; i < 40; ++i) {
+    const auto leaves = primary.leaves();
+    const IAgentId fresh = next++;
+    const TreeOp op = simple_split_op(leaves[rng.next_below(leaves.size())],
+                                      1, fresh, fresh % 5);
+    apply_op(primary, op);
+    journal.record(primary.version(), op);
+  }
+
+  const auto delta = journal.since(secondary.version());
+  ASSERT_TRUE(delta.has_value());
+  delta->apply_to(secondary);
+  EXPECT_EQ(secondary, primary);
+  // The whole replay rode the patch path: same router object, zero rebuilds.
+  EXPECT_EQ(secondary.router().rebuilds(), rebuilds);
+  EXPECT_EQ(secondary.router().patches(), 40u);
+  EXPECT_EQ(secondary.router().compiled_version(), secondary.version());
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::uint64_t probe = id * 0x9e3779b97f4a7c15ull;
+    EXPECT_EQ(secondary.lookup_id(probe).iagent,
+              primary.lookup_id(probe).iagent);
+  }
 }
 
 TEST(TreeJournal, GapClearsHistory) {

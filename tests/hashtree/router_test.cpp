@@ -29,14 +29,37 @@ TEST(CompiledRouter, SingleLeafRoutesEverywhere) {
   EXPECT_EQ(tree.router().entry_count(), 1u);
 }
 
-TEST(CompiledRouter, RebuildsAfterMutation) {
+TEST(CompiledRouter, MutationPatchesWarmRouterInLockstep) {
   HashTree tree(1, 0);
   (void)tree.lookup_id(42);  // compile
   const auto& router = tree.router();
   EXPECT_EQ(router.compiled_version(), tree.version());
 
   tree.simple_split(1, 1, 2, 5);
-  // The router object is stale until the next read-path call...
+  // A warm router is patched inside the mutation — no staleness window, no
+  // rebuild on the next read.
+  EXPECT_EQ(router.compiled_version(), tree.version());
+  const std::uint64_t rebuilds_before = router.rebuilds();
+  for (const std::uint64_t id : {0ull, ~0ull, 0x1234567890abcdefull}) {
+    const auto via_router = tree.lookup_id(id);
+    const auto via_walk = tree.lookup_walk(BitString::from_uint(id, 64));
+    EXPECT_EQ(via_router.iagent, via_walk.iagent);
+    EXPECT_EQ(via_router.location, via_walk.location);
+  }
+  EXPECT_EQ(router.rebuilds(), rebuilds_before);
+  EXPECT_EQ(router.patches(), 1u);
+  EXPECT_EQ(router.entry_count(), 3u);  // two leaves + one internal
+}
+
+TEST(CompiledRouter, ColdRebuildModeLeavesRouterStaleUntilNextRead) {
+  HashTree tree(1, 0);
+  tree.set_incremental_router(false);
+  (void)tree.lookup_id(42);  // compile
+  const auto& router = tree.router();
+  EXPECT_EQ(router.compiled_version(), tree.version());
+
+  tree.simple_split(1, 1, 2, 5);
+  // The pre-patching policy: stale until the next read-path call...
   EXPECT_NE(router.compiled_version(), tree.version());
   // ...which recompiles before routing.
   for (const std::uint64_t id : {0ull, ~0ull, 0x1234567890abcdefull}) {
@@ -46,7 +69,20 @@ TEST(CompiledRouter, RebuildsAfterMutation) {
     EXPECT_EQ(via_router.location, via_walk.location);
   }
   EXPECT_EQ(tree.router().compiled_version(), tree.version());
-  EXPECT_EQ(tree.router().entry_count(), 3u);  // two leaves + one internal
+  EXPECT_EQ(tree.router().patches(), 0u);
+  EXPECT_EQ(tree.router().entry_count(), 3u);
+}
+
+TEST(CompiledRouter, ColdRouterIsNotPatchedAndCompilesOnFirstRead) {
+  HashTree tree(1, 0);
+  // No read yet: mutations must not touch (or build) a router.
+  tree.simple_split(1, 1, 2, 5);
+  tree.set_location(2, 7);
+  const auto hit = tree.lookup_id(~0ull);
+  EXPECT_EQ(hit.iagent, 2u);
+  EXPECT_EQ(hit.location, 7u);
+  EXPECT_EQ(tree.router().patches(), 0u);
+  EXPECT_EQ(tree.router().rebuilds(), 1u);
 }
 
 TEST(CompiledRouter, SetLocationInvalidatesCompiledLocations) {
@@ -95,6 +131,41 @@ TEST(CompiledRouter, CopyAssignmentDropsStaleRouter) {
     EXPECT_EQ(b.lookup_id(probe).iagent, a.lookup_id(probe).iagent);
     EXPECT_EQ(b.lookup_id(probe).location, a.lookup_id(probe).location);
   }
+}
+
+TEST(CompiledRouter, MergeChurnTriggersOneCompactingRebuild) {
+  HashTree tree(1, 0);
+  IAgentId next_id = 2;
+  NodeLocation next_node = 1;
+  while (tree.leaf_count() < 80) {
+    const auto leaves = tree.leaves();
+    tree.simple_split(leaves[tree.leaf_count() / 2], 1, next_id++,
+                      next_node++);
+  }
+  (void)tree.lookup_id(0);  // warm the router: merges below patch in place
+
+  // Each patched merge frees two slots; once frees outnumber live entries
+  // the router flags itself for compaction and stops patching.
+  while (tree.leaf_count() > 8) {
+    tree.merge(tree.leaves().front());
+  }
+  const auto& router = tree.router();  // compacting rebuild happens here
+  EXPECT_EQ(router.compactions(), 1u);
+  EXPECT_FALSE(router.wants_compaction());
+  EXPECT_EQ(router.free_slots(), 0u);
+  EXPECT_EQ(router.live_entries(), 2 * tree.leaf_count() - 1);
+  EXPECT_EQ(router.entry_count(), router.live_entries());
+  EXPECT_GT(router.patches(), 0u);
+
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::uint64_t probe = id * 0x9e3779b97f4a7c15ull;
+    const auto via_router = tree.lookup_id(probe);
+    const auto via_walk =
+        tree.lookup_walk(BitString::from_uint(probe, 64));
+    ASSERT_EQ(via_router.iagent, via_walk.iagent);
+    ASSERT_EQ(via_router.location, via_walk.location);
+  }
+  tree.validate();
 }
 
 /// The unique leaf whose hyper-label is compatible with `id` (paper §3) —
@@ -154,6 +225,22 @@ TEST_P(RouterEquivalence, RandomMutationsKeepAllThreeLookupsInAgreement) {
       ASSERT_EQ(via_u64.location, via_walk.location);
       ASSERT_EQ(via_bits.iagent, via_walk.iagent);
       ASSERT_EQ(via_bits.location, via_walk.location);
+    }
+
+    // The patched router must stay structurally exact after every op: a
+    // binary tree over L leaves compiles to exactly 2L-1 live entries.
+    ASSERT_EQ(tree.router().live_entries(), 2 * tree.leaf_count() - 1);
+
+    // Patched ≡ cold rebuild: a copied tree starts with no router and
+    // compiles from its node tree, so its answers are by construction those
+    // of a cold rebuild of the same version.
+    if (step % 10 == 9) {
+      const HashTree cold = tree;
+      for (const std::uint64_t id : probes) {
+        const auto expect = tree.lookup_id(id);
+        ASSERT_EQ(cold.lookup_id(id).iagent, expect.iagent);
+        ASSERT_EQ(cold.lookup_id(id).location, expect.location);
+      }
     }
 
     // The compatibility predicate is the third independent implementation;

@@ -125,6 +125,67 @@ TEST(FlatMap, ForEachMutableCanRewriteValues) {
   for (std::uint64_t k = 1; k <= 10; ++k) EXPECT_EQ(map.at(k), 3);
 }
 
+TEST(FlatMap, ExtractIfMovesMatchesAndKeepsSurvivorsReachable) {
+  Map map;
+  for (std::uint64_t k = 1; k <= 99; ++k) map.emplace(k, static_cast<int>(k));
+  std::unordered_map<std::uint64_t, int> out;
+  const std::size_t removed = map.extract_if(
+      [](std::uint64_t key, int) { return key % 3 == 0; },
+      [&](std::uint64_t key, int&& value) {
+        EXPECT_TRUE(out.emplace(key, value).second);
+      });
+  EXPECT_EQ(removed, 33u);
+  EXPECT_EQ(out.size(), 33u);
+  EXPECT_EQ(map.size(), 66u);
+  for (std::uint64_t k = 1; k <= 99; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_FALSE(map.contains(k));
+      EXPECT_EQ(out.at(k), static_cast<int>(k));
+    } else {
+      EXPECT_EQ(map.at(k), static_cast<int>(k));
+    }
+  }
+}
+
+/// The recompaction after a bulk extraction must leave every survivor
+/// reachable from its home slot; fuzz against std::unordered_map with
+/// adversarially colliding small keys, as for backward-shift deletion.
+TEST(FlatMap, ExtractIfFuzzAgainstUnorderedMap) {
+  Rng rng(77);
+  Map map;
+  std::unordered_map<std::uint64_t, int> reference;
+  for (int round = 0; round < 400; ++round) {
+    for (int i = 0; i < 24; ++i) {
+      const std::uint64_t key = 1 + rng.next_below(96);
+      const int value = static_cast<int>(rng.next_below(1000));
+      map[key] = value;
+      reference[key] = value;
+    }
+    const std::uint64_t modulus = 2 + rng.next_below(5);
+    std::unordered_map<std::uint64_t, int> extracted;
+    map.extract_if(
+        [&](std::uint64_t key, int) { return key % modulus == 0; },
+        [&](std::uint64_t key, int&& value) {
+          ASSERT_TRUE(extracted.emplace(key, value).second)
+              << "extracted twice: " << key;
+        });
+    for (auto it = reference.begin(); it != reference.end();) {
+      if (it->first % modulus == 0) {
+        ASSERT_EQ(extracted.at(it->first), it->second);
+        it = reference.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size());
+    for (const auto& [key, value] : reference) {
+      const int* found = map.find(key);
+      ASSERT_NE(found, nullptr) << "survivor lost: " << key;
+      ASSERT_EQ(*found, value);
+    }
+  }
+}
+
 TEST(FlatMap, CollectThenEraseMatchesForEachContract) {
   // The documented erase-while-iterating pattern: collect keys during
   // for_each, erase afterwards (the callback itself must not mutate).
