@@ -6,7 +6,10 @@ additionally the ``messages_per_sec`` headline in ``meta`` when both files
 carry it). A row regressing by more than the threshold is reported; with
 ``--fail`` the script exits non-zero so CI can gate on it. Rows present only
 in the fresh run (new benchmarks) or only in the baseline (removed ones) are
-skipped — the gate watches throughput, not coverage.
+skipped — the gate watches throughput, not coverage. A missing baseline file
+is a warning, not an error: a newly added benchmark has no committed
+reference on the first run, and the gate should not block the PR that
+introduces it.
 
 Usage:
   check_bench_regression.py BASELINE FRESH [--threshold-pct=30] [--fail]
@@ -44,7 +47,14 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_rates(args.baseline)
+    try:
+        baseline = load_rates(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"baseline {args.baseline} not found; skipping comparison "
+            "(commit one from a fresh run to arm the gate)"
+        )
+        return 0
     fresh = load_rates(args.fresh)
     if not baseline:
         print(f"no throughput entries in baseline {args.baseline}; skipping")

@@ -6,6 +6,36 @@
 
 namespace agentloc::core {
 
+/// Opt-in per-node location caching (DESIGN.md §12). Every knob only takes
+/// effect when `enabled` is set; the default-off state leaves the locate
+/// path, the committed bench baselines, and the paper-faithful figures
+/// byte-identical to a build without the cache.
+struct LocationCacheConfig {
+  /// Master switch: give every LHAgent a `LocationCache` and consult it on
+  /// the locate path.
+  bool enabled = false;
+
+  /// Cache capacity in bindings per node (rounded up to a power of two).
+  std::size_t capacity = 1024;
+
+  /// Sim-time bound on a binding's age; expired entries count as misses.
+  sim::SimTime ttl = sim::SimTime::seconds(2);
+
+  /// Admit "known absent" bindings when the authority answers kUnknown, so
+  /// repeat queries for a missing agent skip the IAgent inside the TTL.
+  /// Off by default: a negative hit short-circuits the locate without a
+  /// verify probe, so (unlike positive hits) it can answer "not found" for
+  /// an agent that registered inside the TTL window.
+  bool negative_entries = false;
+
+  /// On a positive hit, verify at the cached node directly (one probe RPC to
+  /// that node's LHAgent) instead of asking the responsible IAgent; a stale
+  /// binding falls back to the authoritative path. Disabling this reduces
+  /// the cache to a passive store (bindings maintained and instrumented, no
+  /// locate short-circuit) — the ablation's "cache without jump" arm.
+  bool optimistic_jump = true;
+};
+
 /// Tunables of the hash-based location mechanism. Defaults reproduce the
 /// paper's setting (Tmax/Tmin reconstructed as 50/5 msg/s — DESIGN.md §5).
 struct MechanismConfig {
@@ -99,6 +129,16 @@ struct MechanismConfig {
 
   /// A flush triggers early once this many distinct agents are pending.
   std::size_t batch_max_entries = 32;
+
+  /// Per-node location caching with staleness-safe optimistic locates
+  /// (DESIGN.md §12). Default off.
+  LocationCacheConfig location_cache;
+
+  /// Collapse concurrent in-flight LocateRequests for the same target from
+  /// the same node into one IAgent RPC whose reply fans out to every waiter
+  /// (DESIGN.md §12). Default off: coalescing drops wire messages, which
+  /// perturbs fixed-seed trajectories the committed baselines pin down.
+  bool locate_singleflight = false;
 
   /// Paper §7 extension: IAgents periodically migrate toward the node
   /// hosting the plurality of the agents they serve.

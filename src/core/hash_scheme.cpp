@@ -41,6 +41,9 @@ HashLocationScheme::HashLocationScheme(platform::AgentSystem& system,
       lhagent.enable_update_batching(config_.batch_flush_interval,
                                      config_.batch_max_entries);
     }
+    if (config_.location_cache.enabled) {
+      lhagent.enable_location_cache(config_.location_cache);
+    }
     lhagents_.push_back(&lhagent);
   }
 }
@@ -70,6 +73,11 @@ void HashLocationScheme::update_location(platform::Agent& self,
 bool HashLocationScheme::handle_agent_message(
     platform::Agent& self, const platform::Message& message) {
   if (const auto* notify = message.body_as<WatchNotify>()) {
+    // The notification carries a fresh authoritative binding — deposit it
+    // at the watcher's node before firing the callbacks.
+    if (LHAgent* lhagent = local_lhagent(self.id()); lhagent != nullptr) {
+      lhagent->cache_store(notify->entry);
+    }
     // Fire every pending watch of this (requester, target) pair.
     for (std::size_t i = 0; i < pending_watches_.size();) {
       PendingWatch& pending = *pending_watches_[i];
@@ -113,6 +121,8 @@ void HashLocationScheme::deregister_agent(platform::Agent& self) {
   ++stats_.deregisters;
   LHAgent* lhagent = local_lhagent(self.id());
   if (lhagent == nullptr) return;
+  // The departing agent's binding must not outlive it on this node.
+  lhagent->cache_invalidate(self.id());
   const auto target = lhagent->resolve(self.id());
   system_.send(self.id(), target,
                DeregisterRequest{self.id(), ++seqs_[self.id()]},
@@ -132,6 +142,9 @@ void HashLocationScheme::send_update(platform::AgentId self) {
     lhagent->enqueue_update(entry);
     return;
   }
+  // Same free deposit the batched path gets inside enqueue_update: the
+  // mover reporting from here is the freshest binding this node can know.
+  lhagent->cache_store(entry);
   system_.send(self, lhagent->resolve(self), UpdateRequest{entry},
                UpdateRequest::kWireBytes);
 }
@@ -284,8 +297,7 @@ void HashLocationScheme::locate_attempt(
     platform::AgentId requester, platform::AgentId target, int attempt,
     std::function<void(const LocateOutcome&)> done) {
   if (attempt > config_.max_locate_retries) {
-    ++stats_.locates_failed;
-    done(LocateOutcome{false, net::kNoNode, attempt - 1});
+    fail_locate(requester, target, attempt - 1, done);
     return;
   }
   LHAgent* lhagent = local_lhagent(requester);
@@ -295,74 +307,227 @@ void HashLocationScheme::locate_attempt(
     return;
   }
 
-  const platform::AgentAddress address = lhagent->resolve(target);
-  system_.request(
-      requester, address, LocateRequest{target}, LocateRequest::kWireBytes,
-      [this, requester, target, attempt,
-       done = std::move(done)](platform::RpcResult result) mutable {
-        auto refresh_and_retry = [&]() mutable {
-          ++stats_.refreshes_triggered;
-          LHAgent* lhagent_now = local_lhagent(requester);
-          if (lhagent_now == nullptr) {
-            ++stats_.locates_failed;
-            done(LocateOutcome{false, net::kNoNode, attempt});
-            return;
-          }
-          lhagent_now->refresh([this, requester, target, attempt,
-                                done = std::move(done)]() mutable {
-            locate_attempt(requester, target, attempt + 1, std::move(done));
-          });
-        };
+  // Cache fast path (DESIGN.md §12), first attempt only — a retry means
+  // something already proved stale, so it goes straight to the authority.
+  if (attempt == 1 && lhagent->location_cache() != nullptr) {
+    LocationCache& cache = *lhagent->location_cache();
+    if (const auto hit = cache.lookup(target, system_.now())) {
+      if (hit->negative) {
+        // A recent authoritative "unknown": short-circuit the retry cycle.
+        ++stats_.locates_failed;
+        done(LocateOutcome{false, net::kNoNode, 0});
+        return;
+      }
+      if (config_.location_cache.optimistic_jump) {
+        probe_cached_node(requester, target, hit->node, attempt,
+                          std::move(done));
+        return;
+      }
+      // Jump disabled: answer from the cache unverified. Bounded-staleness
+      // mode — at most `ttl` behind, cheaper than even a probe.
+      ++stats_.locates_found;
+      done(LocateOutcome{true, hit->node, 0});
+      return;
+    }
+  }
+  locate_via_iagent(requester, target, attempt, std::move(done));
+}
 
-        if (!result.ok()) {
-          if (result.status == platform::RpcResult::Status::kDeliveryFailure) {
-            // The IAgent is not at the node our copy recorded: stale copy.
-            ++stats_.delivery_retries;
-            refresh_and_retry();
-          } else {
-            // Timeout: slow or lossy, not stale — retry without refreshing.
-            ++stats_.timeout_retries;
-            locate_attempt(requester, target, attempt + 1, std::move(done));
-          }
-          return;
-        }
-        const auto* reply = result.reply.body_as<LocateReply>();
-        if (reply == nullptr) {
-          ++stats_.locates_failed;
-          done(LocateOutcome{false, net::kNoNode, attempt});
-          return;
-        }
-        switch (reply->status) {
-          case LocateStatus::kFound:
+void HashLocationScheme::probe_cached_node(
+    platform::AgentId requester, platform::AgentId target,
+    net::NodeId cached_node, int attempt,
+    std::function<void(const LocateOutcome&)> done) {
+  if (cached_node >= lhagents_.size()) {
+    // A binding for a node this deployment does not have (corrupt entry);
+    // treat as stale.
+    if (LHAgent* lhagent = local_lhagent(requester);
+        lhagent != nullptr && lhagent->location_cache() != nullptr) {
+      lhagent->location_cache()->note_stale(target);
+    }
+    locate_via_iagent(requester, target, attempt, std::move(done));
+    return;
+  }
+  const platform::AgentAddress probe_address{cached_node,
+                                             lhagents_[cached_node]->id()};
+  system_.request(
+      requester, probe_address, LocationProbeRequest{target},
+      LocationProbeRequest::kWireBytes,
+      [this, requester, target, cached_node, attempt,
+       done = std::move(done)](platform::RpcResult result) mutable {
+        if (result.ok()) {
+          if (const auto* reply = result.reply.body_as<LocationProbeReply>();
+              reply != nullptr && reply->present) {
+            // Verified at the node itself: done, no IAgent involved.
+            ++stats_.optimistic_locates;
             ++stats_.locates_found;
-            done(LocateOutcome{true, reply->node, attempt});
+            done(LocateOutcome{true, cached_node, attempt});
             return;
-          case LocateStatus::kNotResponsible:
-            // Paper §4.3 trigger (ii).
-            ++stats_.stale_retries;
-            refresh_and_retry();
-            return;
-          case LocateStatus::kTransient:
-            // Handoff in flight: the mapping is current, just early. Retry
-            // without refreshing.
-            ++stats_.transient_retries;
-            system_.simulator().schedule_after(
-                config_.transient_retry_delay,
-                [this, requester, target, attempt,
-                 done = std::move(done)]() mutable {
-                  locate_attempt(requester, target, attempt + 1,
-                                 std::move(done));
-                });
-            return;
-          case LocateStatus::kUnknown:
-            // Either the target never existed or our copy routed us to an
-            // IAgent that never received the handoff; one refresh cycle
-            // settles which.
-            refresh_and_retry();
-            return;
+          }
         }
+        // The target moved away (or the probe was lost): drop the binding
+        // and fall back to the authoritative path, same attempt budget.
+        if (LHAgent* lhagent = local_lhagent(requester);
+            lhagent != nullptr && lhagent->location_cache() != nullptr) {
+          lhagent->location_cache()->note_stale(target);
+        }
+        locate_via_iagent(requester, target, attempt, std::move(done));
       },
       config_.rpc_timeout);
+}
+
+void HashLocationScheme::locate_via_iagent(
+    platform::AgentId requester, platform::AgentId target, int attempt,
+    std::function<void(const LocateOutcome&)> done) {
+  LHAgent* lhagent = local_lhagent(requester);
+  if (lhagent == nullptr) {
+    ++stats_.locates_failed;
+    done(LocateOutcome{false, net::kNoNode, attempt - 1});
+    return;
+  }
+  const platform::AgentAddress address = lhagent->resolve(target);
+
+  if (!config_.locate_singleflight) {
+    ++stats_.locate_rpcs;
+    system_.request(
+        requester, address, LocateRequest{target}, LocateRequest::kWireBytes,
+        [this, requester, target, attempt,
+         done = std::move(done)](platform::RpcResult result) mutable {
+          handle_locate_reply(requester, target, attempt, std::move(done),
+                              result);
+        },
+        config_.rpc_timeout);
+    return;
+  }
+
+  // Singleflight: same-node locates for the same target while one is in
+  // flight share that RPC's reply instead of queueing their own at the
+  // (possibly hot) IAgent. Each waiter keeps its own attempt counter and
+  // continuation; only the wire request is shared.
+  const FlightKey key{lhagent->node(), target};
+  auto [it, inserted] = locate_flights_.try_emplace(key);
+  it->second.push_back([this, requester, target, attempt, done = std::move(
+                            done)](const platform::RpcResult& result) mutable {
+    handle_locate_reply(requester, target, attempt, std::move(done), result);
+  });
+  if (!inserted) {
+    ++stats_.locates_coalesced;
+    return;
+  }
+  ++stats_.locate_rpcs;
+  system_.request(
+      requester, address, LocateRequest{target}, LocateRequest::kWireBytes,
+      [this, key](platform::RpcResult result) {
+        // Detach the flight before running waiters: a waiter may retry and
+        // open a fresh flight for the same key.
+        auto flight = locate_flights_.extract(key);
+        if (flight.empty()) return;
+        for (auto& waiter : flight.mapped()) waiter(result);
+      },
+      config_.rpc_timeout);
+}
+
+void HashLocationScheme::handle_locate_reply(
+    platform::AgentId requester, platform::AgentId target, int attempt,
+    std::function<void(const LocateOutcome&)> done,
+    const platform::RpcResult& result) {
+  auto refresh_and_retry = [&]() mutable {
+    ++stats_.refreshes_triggered;
+    LHAgent* lhagent_now = local_lhagent(requester);
+    if (lhagent_now == nullptr) {
+      ++stats_.locates_failed;
+      done(LocateOutcome{false, net::kNoNode, attempt});
+      return;
+    }
+    lhagent_now->refresh([this, requester, target, attempt,
+                          done = std::move(done)]() mutable {
+      locate_attempt(requester, target, attempt + 1, std::move(done));
+    });
+  };
+
+  if (!result.ok()) {
+    if (result.status == platform::RpcResult::Status::kDeliveryFailure) {
+      // The IAgent is not at the node our copy recorded: stale copy.
+      ++stats_.delivery_retries;
+      refresh_and_retry();
+    } else {
+      // Timeout: slow or lossy, not stale — retry without refreshing.
+      ++stats_.timeout_retries;
+      locate_attempt(requester, target, attempt + 1, std::move(done));
+    }
+    return;
+  }
+  const auto* reply = result.reply.body_as<LocateReply>();
+  if (reply == nullptr) {
+    ++stats_.locates_failed;
+    done(LocateOutcome{false, net::kNoNode, attempt});
+    return;
+  }
+  switch (reply->status) {
+    case LocateStatus::kFound:
+      // Remember the authoritative answer for the requester's node; the
+      // carried seq keeps out-of-order deposits newest-wins.
+      if (LHAgent* lhagent = local_lhagent(requester); lhagent != nullptr) {
+        lhagent->cache_store(LocationEntry{target, reply->node, reply->seq});
+      }
+      ++stats_.locates_found;
+      done(LocateOutcome{true, reply->node, attempt});
+      return;
+    case LocateStatus::kNotResponsible:
+      // Paper §4.3 trigger (ii).
+      ++stats_.stale_retries;
+      refresh_and_retry();
+      return;
+    case LocateStatus::kTransient:
+      // Handoff in flight: the mapping is current, just early. Retry
+      // without refreshing.
+      ++stats_.transient_retries;
+      system_.simulator().schedule_after(
+          config_.transient_retry_delay,
+          [this, requester, target, attempt, done = std::move(done)]() mutable {
+            locate_attempt(requester, target, attempt + 1, std::move(done));
+          });
+      return;
+    case LocateStatus::kUnknown:
+      // Either the target never existed or our copy routed us to an
+      // IAgent that never received the handoff; one refresh cycle
+      // settles which.
+      refresh_and_retry();
+      return;
+  }
+}
+
+void HashLocationScheme::fail_locate(
+    platform::AgentId requester, platform::AgentId target, int attempts,
+    const std::function<void(const LocateOutcome&)>& done) {
+  ++stats_.locates_failed;
+  // Every retry (including a refresh cycle) ended in kUnknown: remember the
+  // absence so the next queries for this target skip the whole cycle.
+  if (LHAgent* lhagent = local_lhagent(requester);
+      lhagent != nullptr && lhagent->location_cache() != nullptr &&
+      config_.location_cache.negative_entries) {
+    lhagent->location_cache()->store_negative(target, system_.now());
+  }
+  done(LocateOutcome{false, net::kNoNode, attempts});
+}
+
+const SchemeStats& HashLocationScheme::stats() const noexcept {
+  SchemeStats& stats = const_cast<HashLocationScheme*>(this)->stats_;
+  stats.cache_hits = 0;
+  stats.cache_misses = 0;
+  stats.cache_stale_hits = 0;
+  stats.cache_evictions = 0;
+  stats.cache_invalidations = 0;
+  for (const LHAgent* lhagent : lhagents_) {
+    const LocationCache* cache = lhagent->location_cache();
+    if (cache == nullptr) continue;
+    const LocationCacheStats& counters = cache->stats();
+    stats.cache_hits += counters.hits + counters.negative_hits;
+    stats.cache_misses += counters.misses;
+    stats.cache_stale_hits += counters.stale_hits;
+    stats.cache_evictions += counters.evictions;
+    stats.cache_invalidations += counters.invalidations;
+  }
+  return stats_;
 }
 
 }  // namespace agentloc::core

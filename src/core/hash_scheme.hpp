@@ -1,7 +1,9 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/timer.hpp"
@@ -45,6 +47,10 @@ class HashLocationScheme : public LocationScheme {
   void deregister_agent(platform::Agent& self) override;
   void locate(platform::Agent& requester, platform::AgentId target,
               std::function<void(const LocateOutcome&)> done) override;
+
+  /// Folds the per-node location-cache counters into the cache_* fields at
+  /// read time (they accumulate inside each LHAgent's cache).
+  const SchemeStats& stats() const noexcept override;
 
   std::size_t tracker_count() const override {
     if (!system_.exists(hagent_id_) && backup_ != nullptr) {
@@ -92,6 +98,31 @@ class HashLocationScheme : public LocationScheme {
   void locate_attempt(platform::AgentId requester, platform::AgentId target,
                       int attempt, std::function<void(const LocateOutcome&)> done);
 
+  /// Optimistic jump (DESIGN.md §12): verify a cached binding with one probe
+  /// to the cached node's LHAgent; fall back to the authoritative path (and
+  /// invalidate the binding) on a stale miss.
+  void probe_cached_node(platform::AgentId requester, platform::AgentId target,
+                         net::NodeId cached_node, int attempt,
+                         std::function<void(const LocateOutcome&)> done);
+
+  /// The authoritative leg: one LocateRequest RPC to the responsible IAgent
+  /// (or, with singleflight enabled, a seat on an already-in-flight one).
+  void locate_via_iagent(platform::AgentId requester, platform::AgentId target,
+                         int attempt,
+                         std::function<void(const LocateOutcome&)> done);
+
+  /// Shared continuation for every waiter of a locate RPC.
+  void handle_locate_reply(platform::AgentId requester,
+                           platform::AgentId target, int attempt,
+                           std::function<void(const LocateOutcome&)> done,
+                           const platform::RpcResult& result);
+
+  /// Give up on a locate: count the failure and, when negative entries are
+  /// enabled, remember the absence so repeat queries short-circuit.
+  void fail_locate(platform::AgentId requester, platform::AgentId target,
+                   int attempts,
+                   const std::function<void(const LocateOutcome&)>& done);
+
   void watch_attempt(platform::AgentId requester, platform::AgentId target,
                      int attempt,
                      std::function<void(const WatchOutcome&)> done);
@@ -109,6 +140,13 @@ class HashLocationScheme : public LocationScheme {
     std::unique_ptr<sim::Timeout> timeout;
   };
 
+  /// Singleflight locate coalescing (opt-in; DESIGN.md §12): waiters of an
+  /// in-flight (node, target) LocateRequest, keyed exactly — coalescing on a
+  /// hash could merge distinct targets. `std::map` keeps the footprint
+  /// proportional to the handful of RPCs in flight at once.
+  using FlightKey = std::pair<net::NodeId, platform::AgentId>;
+  using FlightWaiter = std::function<void(const platform::RpcResult&)>;
+
   platform::AgentSystem& system_;
   MechanismConfig config_;
   HAgent* hagent_ = nullptr;
@@ -120,6 +158,7 @@ class HashLocationScheme : public LocationScheme {
   std::unordered_map<platform::AgentId, std::uint64_t> seqs_;
   std::vector<std::unique_ptr<PendingWatch>> pending_watches_;
   std::uint64_t watch_tokens_ = 0;
+  std::map<FlightKey, std::vector<FlightWaiter>> locate_flights_;
 };
 
 }  // namespace agentloc::core

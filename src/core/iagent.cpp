@@ -155,6 +155,7 @@ void IAgent::handle_watch(const platform::Message& message,
       if (const auto entry = table_.find(request.target)) {
         ack.status = LocateStatus::kFound;
         ack.node = entry->node;
+        ack.seq = entry->seq;
       } else {
         ack.status = LocateStatus::kUnknown;  // armed; will fire on arrival
       }
@@ -187,6 +188,7 @@ void IAgent::handle_locate(const platform::Message& message,
   } else if (const auto entry = table_.find(request.target)) {
     reply.status = LocateStatus::kFound;
     reply.node = entry->node;
+    reply.seq = entry->seq;
   } else if (system().now() < transient_until_) {
     ++stats_.transient_replies;
     reply.status = LocateStatus::kTransient;

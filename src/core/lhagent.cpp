@@ -41,6 +41,15 @@ void LHAgent::on_start() {
 }
 
 void LHAgent::on_message(const platform::Message& message) {
+  if (const auto* probe = message.body_as<LocationProbeRequest>()) {
+    // Optimistic-locate verification (DESIGN.md §12): answer from this
+    // node's resident table — node-local information, no communication.
+    ++stats_.probes_served;
+    system().reply(message, id(),
+                   LocationProbeReply{system().hosts(node(), probe->target)},
+                   LocationProbeReply::kWireBytes);
+    return;
+  }
   if (const auto* nack = message.body_as<BatchedUpdateNack>()) {
     // A flushed batch reached an IAgent that no longer serves (some of)
     // its entries: the batched analogue of paper §4.3 trigger (i). Refresh
@@ -69,7 +78,23 @@ void LHAgent::enable_update_batching(sim::SimTime flush_interval,
                                              max_entries);
 }
 
+void LHAgent::enable_location_cache(const LocationCacheConfig& config) {
+  cache_ = std::make_unique<LocationCache>(config.capacity, config.ttl,
+                                           config.negative_entries);
+}
+
+void LHAgent::cache_store(const LocationEntry& entry) {
+  if (cache_ != nullptr) cache_->store(entry, system().now());
+}
+
+void LHAgent::cache_invalidate(platform::AgentId agent) {
+  if (cache_ != nullptr) cache_->invalidate(agent);
+}
+
 void LHAgent::enqueue_update(const LocationEntry& entry) {
+  // A co-located mover just reported from this node: its binding is the
+  // freshest information the node will ever see — deposit it for free.
+  cache_store(entry);
   if (batcher_ != nullptr) {
     batcher_->enqueue(entry);
     return;

@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/config.hpp"
+#include "core/location_cache.hpp"
 #include "core/protocol.hpp"
 #include "core/update_batcher.hpp"
 #include "hashtree/tree.hpp"
@@ -23,6 +25,7 @@ struct LHAgentStats {
   std::uint64_t failovers = 0;        ///< switched to another coordinator
   std::uint64_t update_nacks = 0;     ///< BatchedUpdateNacks received
   std::uint64_t batch_bounces = 0;    ///< BatchedUpdates that bounced
+  std::uint64_t probes_served = 0;    ///< LocationProbeRequests answered
 };
 
 /// Local Hash Agent (paper §2.2): the stationary per-node agent holding a
@@ -79,6 +82,22 @@ class LHAgent : public platform::Agent {
 
   UpdateBatcher* batcher() noexcept { return batcher_.get(); }
 
+  /// --- Location caching (opt-in; DESIGN.md §12) -------------------------
+  /// Install a per-node cache of (agent → node) bindings. Call after
+  /// creation (the scheme does this when
+  /// `MechanismConfig::location_cache.enabled` is set).
+  void enable_location_cache(const LocationCacheConfig& config);
+
+  LocationCache* location_cache() noexcept { return cache_.get(); }
+  const LocationCache* location_cache() const noexcept { return cache_.get(); }
+
+  /// Deposit a binding the node learned for free — a co-located mover's
+  /// report, a LocateReply, a WatchNotify. No-op without a cache.
+  void cache_store(const LocationEntry& entry);
+
+  /// Drop a cached binding (no-op without a cache).
+  void cache_invalidate(platform::AgentId agent);
+
  private:
   void pull(bool force_full);
   void finish_pull();
@@ -93,6 +112,7 @@ class LHAgent : public platform::Agent {
   bool pull_in_flight_ = false;
   std::vector<std::function<void()>> waiters_;
   std::unique_ptr<UpdateBatcher> batcher_;
+  std::unique_ptr<LocationCache> cache_;
   LHAgentStats stats_;
 };
 

@@ -187,7 +187,32 @@ struct LocateReply {
   LocateStatus status = LocateStatus::kUnknown;
   net::NodeId node = net::kNoNode;
   std::uint64_t version_hint = 0;
+  /// The target's move sequence number as recorded in the responsible
+  /// IAgent's table (kFound only). Lets the requester's node cache the
+  /// binding newest-seq-wins (DESIGN.md §12) — a reordered older reply can
+  /// never roll a cached binding back. Payload stays within the modeled 32
+  /// bytes (1 + 4 + 8 + 8 of fields under a 16-byte header).
+  std::uint64_t seq = 0;
   static constexpr std::size_t kWireBytes = 32;
+};
+
+/// Requester → LHAgent at a cached node: "is `target` hosted at your node
+/// right now?" — the verification leg of an optimistic locate (DESIGN.md
+/// §12). The receiving LHAgent answers from its node's resident table, a
+/// strictly node-local check, so the probe costs one round trip to where the
+/// requester believes the target lives instead of one to the responsible
+/// IAgent.
+struct LocationProbeRequest {
+  platform::AgentId target = platform::kNoAgent;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// Reply to a LocationProbeRequest. `present == false` is a stale-miss NACK:
+/// the prober invalidates its cached binding and falls back to the
+/// authoritative IAgent.
+struct LocationProbeReply {
+  bool present = false;
+  static constexpr std::size_t kWireBytes = 24;
 };
 
 // ---------------------------------------------------------------------------

@@ -15,7 +15,9 @@ struct LocateOutcome {
   int attempts = 0;
 };
 
-/// Client-side counters, common to every scheme.
+/// Client-side counters, common to every scheme. The cache_* block and the
+/// coalescing counters are only ever non-zero for `HashLocationScheme` with
+/// the matching extension enabled (DESIGN.md §12).
 struct SchemeStats {
   std::uint64_t registers = 0;
   std::uint64_t updates = 0;
@@ -28,6 +30,22 @@ struct SchemeStats {
   std::uint64_t delivery_retries = 0;   ///< unreachable tracker (it moved)
   std::uint64_t timeout_retries = 0;    ///< lost message / missed deadline
   std::uint64_t refreshes_triggered = 0;
+
+  /// LocateRequest RPCs actually put on the wire toward an IAgent —
+  /// locates() minus what the cache and singleflight absorbed, plus retries.
+  std::uint64_t locate_rpcs = 0;
+  /// Locates answered by a verified optimistic jump (no IAgent involved).
+  std::uint64_t optimistic_locates = 0;
+  /// Locates that joined another in-flight IAgent RPC instead of paying for
+  /// their own (singleflight coalescing).
+  std::uint64_t locates_coalesced = 0;
+
+  /// Location-cache counters, aggregated across every node's cache.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stale_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_invalidations = 0;
 };
 
 /// A mobile-agent location mechanism, as seen by the agents that use it.
@@ -87,7 +105,9 @@ class LocationScheme {
   /// scheme, 1 for the centralized baseline, #nodes for per-node schemes).
   virtual std::size_t tracker_count() const = 0;
 
-  const SchemeStats& stats() const noexcept { return stats_; }
+  /// Virtual so schemes carrying distributed counters (the hash scheme's
+  /// per-node caches) can fold them in at read time.
+  virtual const SchemeStats& stats() const noexcept { return stats_; }
 
  protected:
   SchemeStats stats_;

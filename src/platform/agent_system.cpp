@@ -557,6 +557,12 @@ void AgentSystem::unregister_agent_services(net::NodeId node, AgentId id) {
   std::erase_if(local, [id](const auto& entry) { return entry.second == id; });
 }
 
+bool AgentSystem::hosts(net::NodeId node, AgentId agent) const noexcept {
+  const Record* record = records_.find(agent);
+  return record != nullptr && record->state == State::kActive &&
+         record->agent->node() == node;
+}
+
 bool AgentSystem::exists(AgentId id) const noexcept {
   return records_.contains(id);
 }

@@ -180,6 +180,14 @@ class AgentSystem {
     stats_.messages_coalesced += coalesced;
   }
 
+  /// Node-local residency check: is `agent` currently hosted *at `node`*?
+  /// Unlike the global oracles below, this is information the node itself
+  /// holds (the runtime knows its residents), so per-node infrastructure —
+  /// an LHAgent answering a location probe (DESIGN.md §12) — may consult it
+  /// for its own node without any communication. An agent in transit is
+  /// resident nowhere.
+  bool hosts(net::NodeId node, AgentId agent) const noexcept;
+
   /// --- Introspection (test oracle / benches; not used by protocols) -----
   bool exists(AgentId id) const noexcept;
   bool in_transit(AgentId id) const noexcept;

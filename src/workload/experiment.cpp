@@ -167,6 +167,14 @@ void merge_replication(ExperimentResult& merged, const ExperimentResult& one) {
   scheme.delivery_retries += inc.delivery_retries;
   scheme.timeout_retries += inc.timeout_retries;
   scheme.refreshes_triggered += inc.refreshes_triggered;
+  scheme.locate_rpcs += inc.locate_rpcs;
+  scheme.optimistic_locates += inc.optimistic_locates;
+  scheme.locates_coalesced += inc.locates_coalesced;
+  scheme.cache_hits += inc.cache_hits;
+  scheme.cache_misses += inc.cache_misses;
+  scheme.cache_stale_hits += inc.cache_stale_hits;
+  scheme.cache_evictions += inc.cache_evictions;
+  scheme.cache_invalidations += inc.cache_invalidations;
 
   merged.network_stats.messages_sent += one.network_stats.messages_sent;
   merged.network_stats.messages_delivered +=

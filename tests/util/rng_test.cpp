@@ -144,5 +144,31 @@ TEST(Rng, ZipfDegenerateCases) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.zipf(1, 1.0), 0u);
 }
 
+TEST(Rng, ZipfHigherSkewConcentratesHeadHarder) {
+  // Head mass (rank 0) must grow monotonically with the skew parameter —
+  // this is what the cache ablation sweeps over.
+  std::size_t previous_head = 0;
+  for (const double skew : {0.0, 0.5, 0.9, 1.2}) {
+    Rng rng(43);
+    std::size_t head = 0;
+    for (int i = 0; i < 30000; ++i) head += rng.zipf(50, skew) == 0;
+    EXPECT_GT(head, previous_head) << "skew " << skew;
+    previous_head = head;
+  }
+  // At skew 1.2 the head should dominate outright.
+  EXPECT_GT(previous_head, 30000u / 5);
+}
+
+TEST(Rng, ZipfStaysInBoundsAcrossSkews) {
+  Rng rng(47);
+  for (const double skew : {0.0, 0.3, 0.7, 1.0, 1.5, 3.0}) {
+    for (const std::size_t n : {1u, 2u, 7u, 100u}) {
+      for (int i = 0; i < 2000; ++i) {
+        ASSERT_LT(rng.zipf(n, skew), n) << "n=" << n << " skew=" << skew;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace agentloc::util
