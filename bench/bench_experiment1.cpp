@@ -12,6 +12,7 @@
 //        --threads=0 (0 = one worker per hardware thread)
 //        --json-out=BENCH_experiment1.json
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -64,6 +65,8 @@ int main(int argc, char** argv) {
   util::BenchReport report("experiment1");
   std::uint64_t total_events = 0;
   double total_wall = 0.0;
+  double max_bytes_per_agent = 0.0;
+  std::size_t max_peak_inbox = 0;
 
   for (const std::string& scheme : schemes) {
     for (const std::int64_t count : agent_counts) {
@@ -83,6 +86,10 @@ int main(int argc, char** argv) {
               .count();
       total_events += result.events_executed;
       total_wall += wall;
+      max_bytes_per_agent = std::max(max_bytes_per_agent,
+                                     result.platform_stats.bytes_per_agent);
+      max_peak_inbox = std::max(max_peak_inbox,
+                                result.platform_stats.peak_inbox_depth);
 
       table.add_row({scheme, std::to_string(count),
                      workload::fmt(result.location_ms.mean()),
@@ -96,6 +103,7 @@ int main(int argc, char** argv) {
       report.add_row()
           .set("scheme", scheme)
           .set("tagents", static_cast<std::int64_t>(count))
+          .set("threads", static_cast<std::uint64_t>(threads))
           .set("wall_seconds", wall)
           .set("events", result.events_executed)
           .set("events_per_sec",
@@ -104,6 +112,10 @@ int main(int argc, char** argv) {
           .set("queries_found", result.queries_found)
           .set("queries_failed", result.queries_failed)
           .set("trackers", static_cast<std::uint64_t>(result.trackers_at_end))
+          .set("bytes_per_agent", result.platform_stats.bytes_per_agent)
+          .set("peak_inbox_depth",
+               static_cast<std::uint64_t>(
+                   result.platform_stats.peak_inbox_depth))
           .add_summary("location_ms", result.location_ms);
       std::fflush(stdout);
     }
@@ -119,13 +131,17 @@ int main(int argc, char** argv) {
   report.meta()
       .set("repeats", static_cast<std::uint64_t>(repeats))
       .set("threads", static_cast<std::uint64_t>(threads))
+      .set("hardware_threads",
+           static_cast<std::uint64_t>(util::ThreadPool::default_threads()))
       .set("queries", static_cast<std::uint64_t>(queries))
       .set("nodes", static_cast<std::uint64_t>(nodes))
       .set("wall_seconds", total_wall)
       .set("events", total_events)
       .set("events_per_sec",
            total_wall > 0 ? static_cast<double>(total_events) / total_wall
-                          : 0.0);
+                          : 0.0)
+      .set("bytes_per_agent", max_bytes_per_agent)
+      .set("peak_inbox_depth", static_cast<std::uint64_t>(max_peak_inbox));
   const std::string written = report.write(json_out);
   if (written.empty()) {
     std::fprintf(stderr, "failed to write %s\n", json_out.c_str());

@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
       report.add_row()
           .set("scheme", scheme)
           .set("residence_ms", static_cast<std::int64_t>(residence))
+          .set("threads", static_cast<std::uint64_t>(threads))
           .set("wall_seconds", wall)
           .set("events", result.events_executed)
           .set("events_per_sec",
@@ -126,6 +127,8 @@ int main(int argc, char** argv) {
   report.meta()
       .set("repeats", static_cast<std::uint64_t>(repeats))
       .set("threads", static_cast<std::uint64_t>(threads))
+      .set("hardware_threads",
+           static_cast<std::uint64_t>(util::ThreadPool::default_threads()))
       .set("tagents", static_cast<std::uint64_t>(tagents))
       .set("queries", static_cast<std::uint64_t>(queries))
       .set("nodes", static_cast<std::uint64_t>(nodes))

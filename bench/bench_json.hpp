@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/bench_report.hpp"
@@ -51,20 +54,33 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 /// into the current working directory. The caller may pre-populate
 /// `report.meta()` with bench-specific headline numbers.
 inline int run_and_write(int argc, char** argv, util::BenchReport& report) {
-  // Peel off --json-out=<path> before google-benchmark sees the argv — it
-  // rejects flags it does not know. Empty means the report's default path.
+  // Peel off the repo's own flags before google-benchmark sees the argv —
+  // it rejects flags it does not know. --json-out=<path> picks the output
+  // file (empty means the report's default path); --threads=<n> records the
+  // worker count the run was taken under, so JSON trajectories from
+  // different machines/configurations are comparable.
   std::string json_out;
+  long threads = 1;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    const std::string prefix = "--json-out=";
-    if (arg.rfind(prefix, 0) == 0) {
-      json_out = arg.substr(prefix.size());
+    const std::string json_prefix = "--json-out=";
+    const std::string threads_prefix = "--threads=";
+    if (arg.rfind(json_prefix, 0) == 0) {
+      json_out = arg.substr(json_prefix.size());
+    } else if (arg.rfind(threads_prefix, 0) == 0) {
+      threads = std::strtol(arg.c_str() + threads_prefix.size(), nullptr, 10);
+      if (threads < 1) threads = 1;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  report.meta()
+      .set("threads", static_cast<std::uint64_t>(threads))
+      .set("hardware_threads",
+           static_cast<std::uint64_t>(
+               std::max(1u, std::thread::hardware_concurrency())));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CollectingReporter reporter(report);

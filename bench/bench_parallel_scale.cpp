@@ -1,0 +1,155 @@
+// Parallel LP engine scaling sweep: the same fixed-seed experiment run at
+// increasing worker counts, reporting wall-clock events/second per thread
+// count plus the determinism cross-check (every thread count must produce a
+// bit-identical ExperimentResult — see DESIGN.md §13).
+//
+// The headline row per thread count carries `items_per_second` (executed
+// simulator events per wall second), which is what the bench-regression
+// gate tracks. `speedup` is relative to the sequential LP driver
+// (threads=1) in the same process; on a single-core host it hovers near
+// 1.0 and the row's value is the honest record of that.
+//
+// Flags: --threads-list=1,2,4,8 --nodes=64 --tagents=128 --queries=4000
+//        --residence-ms=500 --seed=1 --json-out=BENCH_parallel_scale.json
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/bench_report.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/lp_experiment.hpp"
+#include "workload/report.hpp"
+
+using namespace agentloc;
+using workload::ExperimentConfig;
+using workload::ExperimentResult;
+
+namespace {
+
+/// The fields the determinism contract promises to be identical across
+/// thread counts, flattened for exact comparison.
+struct Fingerprint {
+  std::vector<double> samples;
+  std::uint64_t found = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t wrong = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+
+  static Fingerprint of(const ExperimentResult& result) {
+    return Fingerprint{result.location_ms.samples(), result.queries_found,
+                       result.queries_failed,       result.wrong_location,
+                       result.tagent_moves,         result.events_executed,
+                       result.lp_windows};
+  }
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto thread_counts = flags.get_int_list("threads-list", {1, 2, 4, 8});
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 64));
+  const auto tagents = static_cast<std::size_t>(flags.get_int("tagents", 128));
+  const auto queries =
+      static_cast<std::size_t>(flags.get_int("queries", 4000));
+  const double residence_ms = flags.get_double("residence-ms", 500.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_parallel_scale.json");
+
+  ExperimentConfig config;
+  config.nodes = nodes;
+  config.tagents = tagents;
+  config.total_queries = queries;
+  config.queriers = 8;
+  config.residence = sim::SimTime::millis(residence_ms);
+  config.warmup = sim::SimTime::seconds(10);
+  config.seed = seed;
+
+  std::printf(
+      "Parallel LP scaling: nodes=%zu tagents=%zu queries=%zu "
+      "(hardware threads: %zu)\n\n",
+      nodes, tagents, queries, util::ThreadPool::default_threads());
+
+  workload::Table table({"threads", "wall s", "events/s", "speedup",
+                         "windows", "cross msgs", "found", "mean ms"});
+  util::BenchReport report("parallel_scale");
+  double base_wall = 0.0;
+  bool deterministic = true;
+  Fingerprint reference;
+  bool have_reference = false;
+
+  for (const std::int64_t threads : thread_counts) {
+    if (threads < 1) continue;
+    config.lp_threads = static_cast<std::size_t>(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const ExperimentResult result = workload::run_experiment_lp(config);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!have_reference) {
+      reference = Fingerprint::of(result);
+      have_reference = true;
+      base_wall = wall;
+    } else if (!(Fingerprint::of(result) == reference)) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION at threads=%lld: results differ "
+                   "from the sequential LP driver\n",
+                   static_cast<long long>(threads));
+    }
+    const double events_per_sec =
+        wall > 0 ? static_cast<double>(result.events_executed) / wall : 0.0;
+    const double speedup = wall > 0 ? base_wall / wall : 0.0;
+
+    table.add_row({std::to_string(threads), workload::fmt(wall, 2),
+                   workload::fmt_count(
+                       static_cast<std::uint64_t>(events_per_sec)),
+                   workload::fmt(speedup, 2),
+                   workload::fmt_count(result.lp_windows),
+                   workload::fmt_count(result.lp_cross_messages),
+                   workload::fmt_count(result.queries_found),
+                   workload::fmt(result.location_ms.mean())});
+    report.add_row()
+        .set("name", "lp_scale/threads=" + std::to_string(threads))
+        .set("threads", static_cast<std::uint64_t>(threads))
+        .set("threads_effective",
+             static_cast<std::uint64_t>(result.lp_threads_used))
+        .set("wall_seconds", wall)
+        .set("events", result.events_executed)
+        .set("items_per_second", events_per_sec)
+        .set("speedup_vs_seq", speedup)
+        .set("windows", result.lp_windows)
+        .set("cross_lp_messages", result.lp_cross_messages)
+        .set("queries_found", result.queries_found)
+        .add_summary("location_ms", result.location_ms);
+    std::fflush(stdout);
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("determinism across thread counts: %s\n",
+              deterministic ? "IDENTICAL (bit-for-bit)" : "VIOLATED");
+
+  report.meta()
+      .set("nodes", static_cast<std::uint64_t>(nodes))
+      .set("tagents", static_cast<std::uint64_t>(tagents))
+      .set("queries", static_cast<std::uint64_t>(queries))
+      .set("seed", seed)
+      .set("hardware_threads",
+           static_cast<std::uint64_t>(util::ThreadPool::default_threads()))
+      .set("deterministic", deterministic ? std::int64_t{1} : std::int64_t{0});
+  const std::string written = report.write(json_out);
+  if (written.empty()) {
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", written.c_str());
+  return deterministic ? 0 : 1;
+}

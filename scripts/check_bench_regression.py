@@ -3,7 +3,10 @@
 
 Matches rows by ``name`` and compares throughput (``items_per_second``;
 additionally the ``messages_per_sec`` headline in ``meta`` when both files
-carry it). A row regressing by more than the threshold is reported; with
+carry it). Memory watermarks in ``meta`` (``bytes_per_agent``,
+``peak_inbox_depth``) are compared in the opposite direction — growing past
+the threshold is the regression. A metric regressing by more than the
+threshold is reported; with
 ``--fail`` the script exits non-zero so CI can gate on it. Rows present only
 in the fresh run (new benchmarks) or only in the baseline (removed ones) are
 skipped — the gate watches throughput, not coverage. A missing baseline file
@@ -20,19 +23,30 @@ import json
 import sys
 
 
+# Meta fields where *lower* is better: these are resource watermarks, so
+# the regression direction is growth.
+LOWER_IS_BETTER_META = ("bytes_per_agent", "peak_inbox_depth")
+
+
 def load_rates(path):
+    """Return (higher_is_better, lower_is_better) metric dicts."""
     with open(path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
     rates = {}
+    lower = {}
     meta = doc.get("meta", doc)
-    if isinstance(meta, dict) and "messages_per_sec" in meta:
-        rates["meta:messages_per_sec"] = float(meta["messages_per_sec"])
+    if isinstance(meta, dict):
+        if "messages_per_sec" in meta:
+            rates["meta:messages_per_sec"] = float(meta["messages_per_sec"])
+        for key in LOWER_IS_BETTER_META:
+            if key in meta and float(meta[key]) > 0:
+                lower[f"meta:{key}"] = float(meta[key])
     for row in doc.get("rows", []):
         name = row.get("name")
         rate = row.get("items_per_second")
         if name is not None and rate is not None:
             rates[name] = float(rate)
-    return rates
+    return rates, lower
 
 
 def main():
@@ -48,15 +62,15 @@ def main():
     args = parser.parse_args()
 
     try:
-        baseline = load_rates(args.baseline)
+        baseline, baseline_lower = load_rates(args.baseline)
     except FileNotFoundError:
         print(
             f"baseline {args.baseline} not found; skipping comparison "
             "(commit one from a fresh run to arm the gate)"
         )
         return 0
-    fresh = load_rates(args.fresh)
-    if not baseline:
+    fresh, fresh_lower = load_rates(args.fresh)
+    if not baseline and not baseline_lower:
         print(f"no throughput entries in baseline {args.baseline}; skipping")
         return 0
 
@@ -73,6 +87,19 @@ def main():
         print(
             f"{name}: {base_rate / 1e6:.2f}M -> {new_rate / 1e6:.2f}M items/s "
             f"({delta_pct:+.1f}%){marker}"
+        )
+    for name, base_value in sorted(baseline_lower.items()):
+        if name not in fresh_lower or base_value <= 0:
+            continue
+        new_value = fresh_lower[name]
+        delta_pct = 100.0 * (new_value - base_value) / base_value
+        marker = ""
+        if delta_pct > args.threshold_pct:
+            marker = "  << REGRESSION (growth)"
+            regressions.append((name, delta_pct))
+        print(
+            f"{name}: {base_value:.1f} -> {new_value:.1f} "
+            f"({delta_pct:+.1f}%, lower is better){marker}"
         )
 
     if regressions:

@@ -382,6 +382,8 @@ void AgentSystem::deliver(net::NodeId node, Message message) {
 
 void AgentSystem::enqueue(Record& record, Message&& message) {
   record.inbox.push_back(std::move(message));
+  stats_.peak_inbox_depth =
+      std::max(stats_.peak_inbox_depth, record.inbox.size());
   if (!record.serving) {
     record.serving = true;
     const AgentId id = record.agent->id();
@@ -588,6 +590,25 @@ Agent* AgentSystem::find(AgentId id) noexcept {
 std::size_t AgentSystem::inbox_depth(AgentId id) const noexcept {
   const Record* record = records_.find(id);
   return record == nullptr ? 0 : record->inbox.size();
+}
+
+std::size_t AgentSystem::estimated_resident_bytes() const noexcept {
+  // Slot sizes count key + value, the unit FlatMap actually allocates.
+  std::size_t bytes =
+      records_.capacity() * (sizeof(AgentId) + sizeof(Record)) +
+      pending_rpcs_.capacity() * (sizeof(std::uint64_t) + sizeof(PendingRpc)) +
+      in_flight_.capacity() * sizeof(InFlight);
+  records_.for_each([&bytes](AgentId, const Record& record) {
+    bytes += record.inbox.capacity() * sizeof(Message);
+  });
+  for (const util::RingBuffer<Message>& inbox : inbox_pool_) {
+    bytes += inbox.capacity() * sizeof(Message);
+  }
+  for (const std::vector<std::pair<ServiceKey, AgentId>>& node :
+       services_) {
+    bytes += node.capacity() * sizeof(std::pair<ServiceKey, AgentId>);
+  }
+  return bytes;
 }
 
 }  // namespace agentloc::platform

@@ -55,6 +55,14 @@ struct PlatformStats {
   /// Location updates that rode an existing batch instead of paying for a
   /// wire message of their own (`enqueued - flushed batches`).
   std::uint64_t messages_coalesced = 0;
+  /// High-water mark of any single agent inbox (including the message in
+  /// service) — the queueing-pressure analogue of the paper's saturation
+  /// curves, and the platform's dominant per-agent memory term.
+  std::size_t peak_inbox_depth = 0;
+  /// Estimated resident platform bytes per live agent at collection time
+  /// (`AgentSystem::estimated_resident_bytes / live_agent_count`), filled by
+  /// the experiment harness; 0 while a run is in flight.
+  double bytes_per_agent = 0.0;
 };
 
 /// The mobile-agent platform: hosts agents on simulated nodes, migrates them,
@@ -208,6 +216,13 @@ class AgentSystem {
   std::size_t pooled_inbox_count() const noexcept {
     return inbox_pool_.size();
   }
+
+  /// Estimate of the platform's resident heap footprint: record and RPC
+  /// table slots, live and pooled inbox rings, the in-flight message pool,
+  /// and the service registry. Counts capacities (what is allocated), not
+  /// sizes (what is momentarily occupied), because pooled capacity is what
+  /// the process actually holds at steady state.
+  std::size_t estimated_resident_bytes() const noexcept;
 
  private:
   enum class State { kActive, kInTransit };

@@ -1,0 +1,205 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+
+#include "util/thread_pool.hpp"
+
+namespace agentloc::sim {
+
+namespace {
+
+ParallelSimulator::Config sanitized(ParallelSimulator::Config config) {
+  if (config.lps == 0) config.lps = 1;
+  if (config.threads == 0) config.threads = 1;
+  if (config.channel_capacity == 0) config.channel_capacity = 1;
+  return config;
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(Config config)
+    : config_(sanitized(config)), lps_(config_.lps) {
+  workers_ = std::min(config_.threads, lps_.size());
+  // Zero lookahead gives one-nanosecond windows: correct, but every window
+  // is a synchronization round, so threading would be all barrier and no
+  // work. Fall back to the sequential driver (same results by the
+  // determinism contract).
+  if (config_.lookahead <= SimTime::zero()) workers_ = 1;
+  for (Lp& lp : lps_) {
+    lp.outbox =
+        std::make_unique<util::SpscRing<Envelope>>(config_.channel_capacity);
+  }
+  active_.reserve(lps_.size());
+}
+
+ParallelSimulator::~ParallelSimulator() = default;
+
+void ParallelSimulator::post(LpId src, LpId dst, SimTime when,
+                             Handler handler) {
+  assert(src < lps_.size() && dst < lps_.size());
+  Lp& sender = lps_[src];
+  Envelope envelope;
+  envelope.when = when;
+  envelope.src = src;
+  envelope.dst = dst;
+  envelope.seq = sender.send_seq++;
+  envelope.handler = std::move(handler);
+  ++sender.sent;
+
+  if (!in_window_) {
+    // Setup-time post from the driver thread: no window is executing, so
+    // the staged heap can be reached directly.
+    stage(std::move(envelope));
+    return;
+  }
+  assert(when >= window_start_ &&
+         "cross-LP message posted into the executing window's past");
+  assert((config_.lookahead <= SimTime::zero() || when >= window_end_) &&
+         "cross-LP message undercuts the lookahead bound");
+  if (!sender.outbox->try_push(envelope)) {
+    sender.spill.push_back(std::move(envelope));
+    ++sender.spilled;
+  }
+}
+
+void ParallelSimulator::stage(Envelope&& envelope) {
+  std::vector<Envelope>& staged = lps_[envelope.dst].staged;
+  staged.push_back(std::move(envelope));
+  std::push_heap(staged.begin(), staged.end(), EnvelopeAfter{});
+}
+
+void ParallelSimulator::exchange() {
+  // Serial, between windows: the dispatch barrier ordered every producer's
+  // ring/spill writes before this read. Draining ring first, then spill,
+  // replays each sender's envelopes in send order; the (when, src, seq) key
+  // makes the destination order independent of drain order anyway.
+  for (Lp& lp : lps_) {
+    Envelope envelope;
+    while (lp.outbox->try_pop(envelope)) stage(std::move(envelope));
+    for (Envelope& spilled : lp.spill) stage(std::move(spilled));
+    lp.spill.clear();
+  }
+}
+
+void ParallelSimulator::refresh_next_times() {
+  for (Lp& lp : lps_) {
+    SimTime next = lp.sim.next_event_time();
+    if (!lp.staged.empty() && lp.staged.front().when < next) {
+      next = lp.staged.front().when;
+    }
+    lp.next_time = next;
+  }
+}
+
+SimTime ParallelSimulator::global_min_next() const {
+  SimTime min = SimTime::infinity();
+  for (const Lp& lp : lps_) min = std::min(min, lp.next_time);
+  return min;
+}
+
+void ParallelSimulator::run_lp(Lp& lp, SimTime end_exclusive) {
+  // Inject safe arrivals in (when, src, seq) order before any of them can
+  // run: the local simulator's (time, scheduling-seq) contract then fixes
+  // one total order over arrivals and local events that no thread
+  // interleaving can perturb.
+  while (!lp.staged.empty() && lp.staged.front().when < end_exclusive) {
+    std::pop_heap(lp.staged.begin(), lp.staged.end(), EnvelopeAfter{});
+    Envelope envelope = std::move(lp.staged.back());
+    lp.staged.pop_back();
+    assert(envelope.when >= window_start_ &&
+           "staged arrival in the window's past despite lookahead");
+    lp.sim.schedule_at(envelope.when, std::move(envelope.handler));
+  }
+  lp.sim.run_until(end_exclusive - SimTime::nanos(1));
+}
+
+void ParallelSimulator::run_window(SimTime end_exclusive) {
+  if (workers_ > 1 && active_.size() > 1 && !pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(workers_);
+  }
+  if (workers_ > 1 && active_.size() > 1) {
+    const std::size_t chunks = std::min(workers_, active_.size());
+    std::vector<std::exception_ptr> errors(chunks);
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      pool_->submit([this, chunk, chunks, end_exclusive, &errors] {
+        try {
+          for (std::size_t i = chunk; i < active_.size(); i += chunks) {
+            run_lp(lps_[active_[i]], end_exclusive);
+          }
+        } catch (...) {
+          errors[chunk] = std::current_exception();
+        }
+      });
+    }
+    pool_->wait_idle();
+    for (std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  } else {
+    for (std::uint32_t id : active_) run_lp(lps_[id], end_exclusive);
+  }
+}
+
+std::uint64_t ParallelSimulator::run_until(SimTime deadline) {
+  const std::uint64_t before = executed();
+  stop_.store(false, std::memory_order_relaxed);
+  const SimTime step = std::max(config_.lookahead, SimTime::nanos(1));
+  // `deadline` is inclusive (an event exactly at the deadline runs), and
+  // windows are half-open, so the last window may end one past it.
+  const SimTime limit = deadline == SimTime::infinity()
+                            ? SimTime::infinity()
+                            : deadline + SimTime::nanos(1);
+
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    exchange();
+    refresh_next_times();
+    const SimTime start = global_min_next();
+    if (start == SimTime::infinity() || start > deadline) break;
+
+    window_start_ = start;
+    window_end_ = std::min(start + step, limit);
+    assert(window_end_ > window_start_);
+    active_.clear();
+    for (std::uint32_t id = 0; id < lps_.size(); ++id) {
+      if (lps_[id].next_time < window_end_) active_.push_back(id);
+    }
+
+    in_window_ = true;
+    run_window(window_end_);
+    in_window_ = false;
+    ++windows_;
+  }
+
+  // Idle LPs never saw a window reaching the deadline; advance their clocks
+  // so `lp(i).now()` is monotone across back-to-back calls, matching
+  // `Simulator::run_until` semantics. (Nothing executes: every pending
+  // event, staged arrivals included, is beyond the deadline.)
+  if (deadline != SimTime::infinity() &&
+      !stop_.load(std::memory_order_relaxed)) {
+    for (Lp& lp : lps_) lp.sim.run_until(deadline);
+  }
+  return executed() - before;
+}
+
+std::uint64_t ParallelSimulator::executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const Lp& lp : lps_) total += lp.sim.executed();
+  return total;
+}
+
+std::uint64_t ParallelSimulator::cross_lp_messages() const noexcept {
+  std::uint64_t total = 0;
+  for (const Lp& lp : lps_) total += lp.sent;
+  return total;
+}
+
+std::uint64_t ParallelSimulator::channel_spills() const noexcept {
+  std::uint64_t total = 0;
+  for (const Lp& lp : lps_) total += lp.spilled;
+  return total;
+}
+
+}  // namespace agentloc::sim

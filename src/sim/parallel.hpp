@@ -1,0 +1,193 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace agentloc::util {
+class ThreadPool;
+}
+
+namespace agentloc::sim {
+
+/// Conservatively synchronized parallel discrete-event engine: one logical
+/// process (LP) per simulated node, each owning a private slab `Simulator`,
+/// advanced in *safe windows* derived from the network's minimum cross-node
+/// latency (DESIGN.md §13).
+///
+/// The protocol is the windowed variant of conservative synchronization:
+/// with every cross-LP message delayed by at least `lookahead`, all events
+/// in the half-open window `[S, S + lookahead)` — where `S` is the global
+/// minimum pending-event time — are causally independent across LPs and can
+/// execute concurrently. Each window runs three steps:
+///
+///   1. **exchange** (serial): envelopes sent during the previous window are
+///      moved from per-LP SPSC outboxes into the destination LPs' staged
+///      heaps, ordered by the deterministic key `(time, src LP, send seq)`.
+///   2. **inject + execute** (parallel): every LP with work below the window
+///      end injects its safe staged arrivals in key order into its local
+///      simulator — which then interleaves them with local events under the
+///      engine's (time, sequence) contract — and runs to the window end.
+///   3. **advance**: the next window start is the new global minimum; since
+///      every event below the old window end has executed and every send
+///      carries at least `lookahead` of delay, the start strictly increases.
+///
+/// **Determinism.** Nothing in the schedule depends on thread timing: window
+/// boundaries are pure functions of event timestamps, staged arrivals are
+/// injected in a deterministic total order, and each LP's simulator is
+/// single-threaded within a window. A run with any worker count is therefore
+/// bit-for-bit identical to the sequential driver (`threads = 1`) — the same
+/// contract `workload::run_parallel` asserts for seed sweeps, applied inside
+/// one run. Per-LP randomness must come from per-LP streams (split from the
+/// run seed by the caller) so draw order is also thread-count-invariant.
+///
+/// **Zero lookahead.** A model that cannot promise a positive cross-node
+/// floor degenerates the window to a single nanosecond tick and forces the
+/// sequential driver (`threaded()` returns false); every cross-LP message
+/// then costs one delivery round at an unchanged timestamp. Callers that
+/// want the legacy single-simulator engine instead should select it
+/// themselves (see `workload::run_experiment`).
+class ParallelSimulator {
+ public:
+  using LpId = std::uint32_t;
+  using Handler = Simulator::Handler;
+
+  struct Config {
+    /// Number of logical processes (one per simulated node).
+    std::size_t lps = 1;
+
+    /// Worker threads executing LP windows (clamped to `lps`; forced to 1
+    /// when `lookahead` is zero). 1 = sequential driver, same results.
+    std::size_t threads = 1;
+
+    /// Conservative lower bound on every cross-LP message delay, normally
+    /// `net::LatencyModel::min_latency()`.
+    SimTime lookahead = SimTime::zero();
+
+    /// Slots per LP outbox ring before sends spill to a side vector.
+    std::size_t channel_capacity = 1024;
+  };
+
+  explicit ParallelSimulator(Config config);
+  ~ParallelSimulator();
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  std::size_t lp_count() const noexcept { return lps_.size(); }
+
+  /// Effective worker count after clamping (1 when lookahead is zero).
+  std::size_t threads() const noexcept { return workers_; }
+  bool threaded() const noexcept { return workers_ > 1; }
+  SimTime lookahead() const noexcept { return config_.lookahead; }
+
+  /// The LP's private simulator, for local (same-node) scheduling. During a
+  /// run, LP `id` may only be touched from its own execution context.
+  Simulator& lp(LpId id) { return lps_[id].sim; }
+
+  /// Send a cross-LP message: run `handler` on `dst` at absolute time
+  /// `when`. Must be called either before `run_until` (setup) or from code
+  /// executing on LP `src`; with nonzero lookahead, `when` must lie at or
+  /// beyond the current window end — which any delay >= lookahead
+  /// guarantees. `seq` tie-breaking makes same-timestamp arrivals replay in
+  /// (time, src, send-order) order, independent of thread interleaving.
+  void post(LpId src, LpId dst, SimTime when, Handler handler);
+
+  /// Run every LP until `deadline` (inclusive, like `Simulator::run_until`)
+  /// or until the queues drain or `request_stop` is observed at a window
+  /// boundary. Returns the number of events executed across all LPs during
+  /// this call.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Ask the scheduler to stop after the current window. Safe to call from
+  /// any LP handler (it is an atomic flag read at window boundaries, so the
+  /// stopping window is deterministic).
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Total events executed across all LPs since construction. Like the other
+  /// counters, only meaningful between `run_until` calls (per-LP state is
+  /// owned by worker threads during a window).
+  std::uint64_t executed() const noexcept;
+
+  /// Synchronization rounds completed (diagnostics: events per window is
+  /// the available parallelism).
+  std::uint64_t windows() const noexcept { return windows_; }
+
+  /// Envelopes that crossed an LP boundary.
+  std::uint64_t cross_lp_messages() const noexcept;
+
+  /// Envelopes that overflowed an outbox ring into its spill vector
+  /// (diagnostics: a persistently nonzero rate means `channel_capacity` is
+  /// undersized for the traffic).
+  std::uint64_t channel_spills() const noexcept;
+
+ private:
+  /// One cross-LP message. Ordering key is (when, src, seq); `seq` is the
+  /// sender's monotone send counter, so the key is unique and identical on
+  /// every run.
+  struct Envelope {
+    SimTime when;
+    LpId src = 0;
+    LpId dst = 0;
+    std::uint64_t seq = 0;
+    Handler handler;
+  };
+
+  /// `std::push_heap`-style min-heap order (greater-than comparator).
+  struct EnvelopeAfter {
+    bool operator()(const Envelope& a, const Envelope& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Lp {
+    Simulator sim;
+
+    /// Outbox: filled by this LP's worker during a window, drained by the
+    /// serial exchange step between windows (the barrier provides the
+    /// happens-before; the ring keeps the common path allocation-free).
+    std::unique_ptr<util::SpscRing<Envelope>> outbox;
+    std::vector<Envelope> spill;
+    std::uint64_t send_seq = 0;
+
+    /// Single-writer counters (this LP's execution context), summed by the
+    /// engine-level accessors between windows.
+    std::uint64_t sent = 0;
+    std::uint64_t spilled = 0;
+
+    /// Arrivals waiting for their timestamp to become safe, min-heap by
+    /// (when, src, seq).
+    std::vector<Envelope> staged;
+
+    /// min(local next event, staged top), refreshed each window.
+    SimTime next_time = SimTime::infinity();
+  };
+
+  void stage(Envelope&& envelope);
+  void exchange();
+  void refresh_next_times();
+  SimTime global_min_next() const;
+  void run_lp(Lp& lp, SimTime end_exclusive);
+  void run_window(SimTime end_exclusive);
+
+  Config config_;
+  std::size_t workers_ = 1;
+  std::vector<Lp> lps_;
+  std::vector<std::uint32_t> active_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::atomic<bool> stop_{false};
+  bool in_window_ = false;
+  SimTime window_start_ = SimTime::zero();
+  SimTime window_end_ = SimTime::zero();
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace agentloc::sim

@@ -31,6 +31,11 @@ class FlatMap {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 
+  /// Allocated slots (zero until the first insert); `capacity() *
+  /// sizeof(slot)` is the map's resident footprint, which the platform's
+  /// memory accounting reports.
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
   /// Grow (never shrink) so `count` entries fit without rehashing.
   void reserve(std::size_t count) {
     std::size_t want = kMinCapacity;

@@ -1,5 +1,6 @@
 #include "workload/experiment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "sim/timer.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/lp_experiment.hpp"
 #include "workload/querier.hpp"
 #include "workload/tagent.hpp"
 
@@ -39,6 +41,7 @@ std::unique_ptr<core::LocationScheme> make_scheme(
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  if (config.lp_threads >= 1) return run_experiment_lp(config);
   util::Rng master(config.seed);
 
   sim::Simulator simulator;
@@ -127,6 +130,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.scheme_stats = scheme->stats();
   result.network_stats = network.stats();
   result.platform_stats = system.stats();
+  if (system.live_agent_count() > 0) {
+    result.platform_stats.bytes_per_agent =
+        static_cast<double>(system.estimated_resident_bytes()) /
+        static_cast<double>(system.live_agent_count());
+  }
   result.sim_seconds = simulator.now().as_seconds();
   result.events_executed = simulator.executed();
   return result;
@@ -201,9 +209,21 @@ void merge_replication(ExperimentResult& merged, const ExperimentResult& one) {
   merged.platform_stats.batch_flushes += one.platform_stats.batch_flushes;
   merged.platform_stats.messages_coalesced +=
       one.platform_stats.messages_coalesced;
+  // Memory figures are per-replication watermarks, not flows: report the
+  // worst replication rather than a meaningless sum.
+  merged.platform_stats.peak_inbox_depth =
+      std::max(merged.platform_stats.peak_inbox_depth,
+               one.platform_stats.peak_inbox_depth);
+  merged.platform_stats.bytes_per_agent =
+      std::max(merged.platform_stats.bytes_per_agent,
+               one.platform_stats.bytes_per_agent);
 
   merged.sim_seconds += one.sim_seconds;
   merged.events_executed += one.events_executed;
+  merged.lp_windows += one.lp_windows;
+  merged.lp_cross_messages += one.lp_cross_messages;
+  merged.lp_threads_used =
+      std::max(merged.lp_threads_used, one.lp_threads_used);
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "workload/experiment.hpp"
+
+namespace agentloc::workload {
+
+/// Run one experiment on the node-partitioned parallel LP engine
+/// (`sim::ParallelSimulator`, DESIGN.md §13) instead of the single-simulator
+/// stack. Selected by `run_experiment` when `ExperimentConfig::lp_threads`
+/// is nonzero.
+///
+/// The LP model replays the mechanism's steady-state message economy —
+/// movers with residence timers and migration latency, hash-partitioned
+/// location trackers with FIFO service queues, closed-loop queriers doing
+/// probe → verify → retry — with every piece of mutable state owned by
+/// exactly one node's LP and every cross-node hop carrying the LAN model's
+/// latency floor as lookahead. It deliberately does not thread the legacy
+/// `platform::AgentSystem`/scheme stack (whose maps, stats and RPC tables
+/// are shared across nodes by design); it is a parallel reimplementation of
+/// the workload at the message level, so its numbers are comparable across
+/// thread counts but not bitwise against the `lp_threads == 0` engine.
+///
+/// Determinism contract: for a fixed config and seed the returned
+/// `ExperimentResult` is bit-for-bit identical for every `lp_threads >= 1`
+/// (per-entity RNG streams are split serially from the run seed; all
+/// cross-LP ordering is fixed by the engine's (time, src, seq) key).
+///
+/// Host hooks (`sampler`, `on_finish`, `trace_csv_path`) and fault
+/// injection (`drop_probability`) are not supported here and throw
+/// `std::invalid_argument`.
+ExperimentResult run_experiment_lp(const ExperimentConfig& config);
+
+}  // namespace agentloc::workload

@@ -1,0 +1,244 @@
+// ParallelSimulator: conservative safe-window LP engine (DESIGN.md §13).
+// Suite names carry "Parallel" so the tsan CI preset runs them under
+// ThreadSanitizer.
+
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace agentloc::sim {
+namespace {
+
+ParallelSimulator::Config make_config(std::size_t lps, std::size_t threads,
+                                      SimTime lookahead) {
+  ParallelSimulator::Config config;
+  config.lps = lps;
+  config.threads = threads;
+  config.lookahead = lookahead;
+  return config;
+}
+
+TEST(ParallelSimTest, LocalEventsRunInTimeOrder) {
+  ParallelSimulator engine(make_config(2, 1, SimTime::micros(100)));
+  std::vector<int> order;
+  engine.lp(0).schedule_at(SimTime::micros(30), [&] { order.push_back(3); });
+  engine.lp(0).schedule_at(SimTime::micros(10), [&] { order.push_back(1); });
+  engine.lp(0).schedule_at(SimTime::micros(20), [&] { order.push_back(2); });
+  engine.run_until(SimTime::millis(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.executed(), 3u);
+}
+
+TEST(ParallelSimTest, CrossLpMessageArrivesAtItsTimestamp) {
+  ParallelSimulator engine(make_config(2, 1, SimTime::micros(100)));
+  SimTime arrival = SimTime::zero();
+  engine.lp(0).schedule_at(SimTime::micros(50), [&] {
+    engine.post(0, 1, engine.lp(0).now() + SimTime::micros(200),
+                [&] { arrival = engine.lp(1).now(); });
+  });
+  engine.run_until(SimTime::millis(5));
+  EXPECT_EQ(arrival, SimTime::micros(250));
+  EXPECT_EQ(engine.cross_lp_messages(), 1u);
+}
+
+TEST(ParallelSimTest, SameTimeArrivalsOrderedBySrcThenSeq) {
+  // Three senders post arrivals carrying identical timestamps at LP 3; the
+  // deterministic (time, src, seq) key must order them src 0 < 1 < 2, and
+  // within one sender in send order, regardless of posting order.
+  ParallelSimulator engine(make_config(4, 1, SimTime::micros(100)));
+  std::vector<std::string> order;
+  const SimTime when = SimTime::millis(2);
+  // Sender 2 posts first in wall time — must still run last.
+  engine.lp(2).schedule_at(SimTime::micros(10), [&] {
+    engine.post(2, 3, when, [&] { order.push_back("src2#0"); });
+  });
+  engine.lp(0).schedule_at(SimTime::micros(20), [&] {
+    engine.post(0, 3, when, [&] { order.push_back("src0#0"); });
+    engine.post(0, 3, when, [&] { order.push_back("src0#1"); });
+  });
+  engine.lp(1).schedule_at(SimTime::micros(30), [&] {
+    engine.post(1, 3, when, [&] { order.push_back("src1#0"); });
+  });
+  engine.run_until(SimTime::millis(5));
+  EXPECT_EQ(order, (std::vector<std::string>{"src0#0", "src0#1", "src1#0",
+                                             "src2#0"}));
+}
+
+TEST(ParallelSimTest, ZeroLookaheadFallsBackToSequential) {
+  ParallelSimulator engine(make_config(4, 8, SimTime::zero()));
+  EXPECT_FALSE(engine.threaded());
+  EXPECT_EQ(engine.threads(), 1u);
+
+  // Zero-latency messaging still works: each hop lands in a later
+  // one-nanosecond window at an unchanged timestamp.
+  int hops = 0;
+  SimTime last = SimTime::zero();
+  engine.lp(0).schedule_at(SimTime::micros(1), [&] {
+    engine.post(0, 1, engine.lp(0).now(), [&] {
+      ++hops;
+      engine.post(1, 2, engine.lp(1).now(), [&] {
+        ++hops;
+        last = engine.lp(2).now();
+      });
+    });
+  });
+  engine.run_until(SimTime::millis(1));
+  EXPECT_EQ(hops, 2);
+  EXPECT_EQ(last, SimTime::micros(1));
+}
+
+TEST(ParallelSimTest, ThreadsClampedToLpCount) {
+  ParallelSimulator engine(make_config(2, 16, SimTime::micros(10)));
+  EXPECT_EQ(engine.threads(), 2u);
+  EXPECT_TRUE(engine.threaded());
+}
+
+TEST(ParallelSimTest, RunUntilDeadlineIsInclusiveAndClocksAdvance) {
+  ParallelSimulator engine(make_config(2, 1, SimTime::micros(100)));
+  bool at_deadline = false;
+  engine.lp(0).schedule_at(SimTime::millis(3), [&] { at_deadline = true; });
+  engine.run_until(SimTime::millis(3));
+  EXPECT_TRUE(at_deadline);
+  // Idle LP 1 never executed anything but its clock reached the deadline.
+  EXPECT_EQ(engine.lp(1).now(), SimTime::millis(3));
+}
+
+TEST(ParallelSimTest, RequestStopHaltsAtWindowBoundary) {
+  ParallelSimulator engine(make_config(2, 1, SimTime::micros(100)));
+  int ran = 0;
+  engine.lp(0).schedule_at(SimTime::micros(10), [&] {
+    ++ran;
+    engine.request_stop();
+  });
+  // Far-future event on the other LP must not run after the stop.
+  engine.lp(1).schedule_at(SimTime::seconds(1), [&] { ++ran; });
+  engine.run_until(SimTime::seconds(2));
+  EXPECT_EQ(ran, 1);
+}
+
+/// Deterministic message storm: `kLps` LPs ping-pong timestamped messages
+/// with per-LP RNG streams; the full execution trace (LP, time, payload) is
+/// recorded through a mutex and compared across worker counts after sorting
+/// is *not* applied — the trace is keyed per-LP so it is identical no
+/// matter which thread ran which LP.
+struct StormTrace {
+  std::mutex mutex;
+  std::vector<std::vector<std::uint64_t>> per_lp;
+};
+
+void run_storm(std::size_t threads, std::vector<std::vector<std::uint64_t>>& out) {
+  constexpr std::size_t kLps = 8;
+  constexpr int kFanout = 3;
+  ParallelSimulator engine(
+      make_config(kLps, threads, SimTime::micros(50)));
+  auto trace = std::make_shared<StormTrace>();
+  trace->per_lp.resize(kLps);
+  auto rngs = std::make_shared<std::vector<util::Rng>>();
+  for (std::size_t i = 0; i < kLps; ++i) {
+    rngs->emplace_back(0xabcd0000 + i);
+  }
+
+  // Each LP seeds one initial event; every event records itself and, while
+  // the budget lasts, fans out messages to RNG-chosen LPs at RNG-chosen
+  // future times. ~kLps * 2^depth events in total.
+  struct Node {
+    ParallelSimulator* engine;
+    std::shared_ptr<StormTrace> trace;
+    std::shared_ptr<std::vector<util::Rng>> rngs;
+
+    void fire(std::uint32_t lp, std::uint64_t tag, int depth) const {
+      {
+        // The mutex serializes only the push; the per-LP vector keyed by
+        // `lp` is what must come out identical across thread counts.
+        std::lock_guard<std::mutex> lock(trace->mutex);
+        trace->per_lp[lp].push_back(
+            tag ^ static_cast<std::uint64_t>(
+                      engine->lp(lp).now().as_nanos()));
+      }
+      if (depth <= 0) return;
+      util::Rng& rng = (*rngs)[lp];
+      for (int m = 0; m < kFanout; ++m) {
+        const auto dst =
+            static_cast<std::uint32_t>(rng.next_below(trace->per_lp.size()));
+        const SimTime when =
+            engine->lp(lp).now() +
+            SimTime::micros(static_cast<std::int64_t>(
+                50 + rng.next_below(500)));
+        const std::uint64_t next_tag = rng.next();
+        Node child = *this;
+        auto handler = [child, dst, next_tag, depth] {
+          child.fire(dst, next_tag, depth - 1);
+        };
+        if (dst == lp) {
+          engine->lp(lp).schedule_at(when, std::move(handler));
+        } else {
+          engine->post(lp, dst, when, std::move(handler));
+        }
+      }
+    }
+  };
+
+  Node root{&engine, trace, rngs};
+  for (std::size_t i = 0; i < kLps; ++i) {
+    const auto lp = static_cast<std::uint32_t>(i);
+    engine.post(lp, lp, SimTime::micros(10 + i), [root, lp] {
+      root.fire(lp, 0x1111 * (lp + 1), 5);
+    });
+  }
+  engine.run_until(SimTime::seconds(1));
+  out = trace->per_lp;
+}
+
+TEST(ParallelSimTest, StormIsBitIdenticalAcrossThreadCounts) {
+  std::vector<std::vector<std::uint64_t>> reference;
+  run_storm(1, reference);
+  std::size_t total = 0;
+  for (const auto& lp : reference) total += lp.size();
+  ASSERT_GT(total, 1000u) << "storm too small to be meaningful";
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    std::vector<std::vector<std::uint64_t>> trace;
+    run_storm(threads, trace);
+    EXPECT_EQ(trace, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSimTest, SetupPostsDeliverBeforeFirstWindow) {
+  ParallelSimulator engine(make_config(3, 2, SimTime::micros(100)));
+  std::vector<int> hits(3, 0);
+  for (std::uint32_t lp = 0; lp < 3; ++lp) {
+    engine.post(lp, lp, SimTime::micros(5), [&hits, lp] { ++hits[lp]; });
+  }
+  engine.run_until(SimTime::millis(1));
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelSimTest, ChannelOverflowSpillsLosslessly) {
+  // Capacity-8 channels, hundreds of same-window sends: everything must
+  // arrive exactly once (the spill vector absorbs the overflow).
+  ParallelSimulator::Config config = make_config(2, 2, SimTime::micros(100));
+  config.channel_capacity = 8;
+  ParallelSimulator engine(config);
+  constexpr int kSends = 300;
+  int received = 0;
+  engine.lp(0).schedule_at(SimTime::micros(1), [&] {
+    for (int i = 0; i < kSends; ++i) {
+      engine.post(0, 1, SimTime::millis(1), [&received] { ++received; });
+    }
+  });
+  engine.run_until(SimTime::millis(2));
+  EXPECT_EQ(received, kSends);
+  EXPECT_GT(engine.channel_spills(), 0u);
+}
+
+}  // namespace
+}  // namespace agentloc::sim

@@ -1,0 +1,168 @@
+// run_experiment_lp: the node-partitioned parallel LP experiment engine.
+// The headline property under test is the determinism contract: for a fixed
+// config and seed, every thread count in {1, 2, 4, 8} must produce a
+// bit-for-bit identical ExperimentResult. Suite names carry "Parallel" so
+// the tsan CI preset runs them under ThreadSanitizer.
+
+#include "workload/lp_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "workload/experiment.hpp"
+
+namespace agentloc::workload {
+namespace {
+
+/// Exact equality over everything the determinism contract covers —
+/// including the raw per-query latency samples, which makes the comparison
+/// bitwise rather than statistical.
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b,
+                      std::size_t threads) {
+  EXPECT_EQ(a.location_ms.samples(), b.location_ms.samples())
+      << "latency samples diverge at threads=" << threads;
+  EXPECT_EQ(a.attempts.samples(), b.attempts.samples()) << threads;
+  EXPECT_EQ(a.queries_found, b.queries_found) << threads;
+  EXPECT_EQ(a.queries_failed, b.queries_failed) << threads;
+  EXPECT_EQ(a.wrong_location, b.wrong_location) << threads;
+  EXPECT_EQ(a.tagent_moves, b.tagent_moves) << threads;
+  EXPECT_EQ(a.events_executed, b.events_executed) << threads;
+  EXPECT_EQ(a.lp_windows, b.lp_windows) << threads;
+  EXPECT_EQ(a.lp_cross_messages, b.lp_cross_messages) << threads;
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds) << threads;
+  EXPECT_EQ(a.network_stats.messages_sent, b.network_stats.messages_sent)
+      << threads;
+  EXPECT_EQ(a.scheme_stats.updates, b.scheme_stats.updates) << threads;
+}
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.nodes = 16;
+  config.tagents = 20;
+  config.total_queries = 200;
+  config.queriers = 4;
+  config.warmup = sim::SimTime::seconds(2);
+  config.measure_deadline = sim::SimTime::seconds(120);
+  config.seed = 7;
+  return config;
+}
+
+TEST(ParallelLpExperimentTest, ProducesPlausibleExperiment1Shape) {
+  ExperimentConfig config = small_config();
+  config.lp_threads = 2;
+  const ExperimentResult result = run_experiment_lp(config);
+
+  EXPECT_EQ(result.queries_found + result.queries_failed, 200u);
+  EXPECT_GT(result.queries_found, 190u) << "most queries should locate";
+  EXPECT_GT(result.tagent_moves, 0u);
+  EXPECT_GT(result.lp_cross_messages, 0u);
+  EXPECT_GT(result.lp_windows, 0u);
+  EXPECT_EQ(result.lp_threads_used, 2u);
+  // A query is at minimum two RPC round trips over a ~350us LAN plus
+  // service time; at most a handful of retries worth.
+  EXPECT_GT(result.location_ms.mean(), 1.0);
+  EXPECT_LT(result.location_ms.mean(), 100.0);
+}
+
+TEST(ParallelLpExperimentTest, BitIdenticalAcrossThreadCounts) {
+  ExperimentConfig config = small_config();
+  config.lp_threads = 1;
+  const ExperimentResult reference = run_experiment_lp(config);
+  ASSERT_GT(reference.queries_found, 0u);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    config.lp_threads = threads;
+    const ExperimentResult result = run_experiment_lp(config);
+    expect_identical(reference, result, threads);
+  }
+}
+
+TEST(ParallelLpExperimentTest, BitIdenticalOnExperiment2StyleSweep) {
+  // Experiment II varies residence time (movement rate); cover a fast-
+  // moving and a slow-moving point, both with skewed query popularity.
+  for (const double residence_ms : {100.0, 1000.0}) {
+    ExperimentConfig config = small_config();
+    config.residence = sim::SimTime::millis(residence_ms);
+    config.target_skew = 0.8;
+    config.total_queries = 120;
+    config.lp_threads = 1;
+    const ExperimentResult reference = run_experiment_lp(config);
+
+    for (const std::size_t threads : {2u, 8u}) {
+      config.lp_threads = threads;
+      expect_identical(reference, run_experiment_lp(config), threads);
+    }
+  }
+}
+
+TEST(ParallelLpExperimentTest, RunExperimentDispatchesOnLpThreads) {
+  // lp_threads >= 1 routes run_experiment into the LP engine; the result
+  // must match a direct run_experiment_lp call exactly.
+  ExperimentConfig config = small_config();
+  config.total_queries = 80;
+  config.lp_threads = 2;
+  const ExperimentResult direct = run_experiment_lp(config);
+  const ExperimentResult dispatched = run_experiment(config);
+  expect_identical(direct, dispatched, 2);
+  EXPECT_EQ(dispatched.lp_threads_used, 2u);
+}
+
+TEST(ParallelLpExperimentTest, LegacyEngineUntouchedByDefault) {
+  // lp_threads == 0 (the default) must keep using the single-simulator
+  // engine: no LP diagnostics appear.
+  ExperimentConfig config = small_config();
+  config.total_queries = 40;
+  config.measure_deadline = sim::SimTime::seconds(60);
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.lp_windows, 0u);
+  EXPECT_EQ(result.lp_threads_used, 0u);
+  EXPECT_GT(result.queries_found, 0u);
+  // The platform memory counters ride along on the legacy engine.
+  EXPECT_GT(result.platform_stats.bytes_per_agent, 0.0);
+  EXPECT_GE(result.platform_stats.peak_inbox_depth, 1u);
+}
+
+TEST(ParallelLpExperimentTest, MoreThreadsThanNodesStillIdentical) {
+  ExperimentConfig config = small_config();
+  config.nodes = 4;
+  config.total_queries = 80;
+  config.lp_threads = 1;
+  const ExperimentResult reference = run_experiment_lp(config);
+  config.lp_threads = 16;  // clamped to 4 LPs internally
+  const ExperimentResult result = run_experiment_lp(config);
+  expect_identical(reference, result, 16);
+  EXPECT_EQ(result.lp_threads_used, 4u);
+}
+
+TEST(ParallelLpExperimentTest, RejectsUnsupportedHostHooks) {
+  ExperimentConfig config = small_config();
+  config.lp_threads = 2;
+  config.drop_probability = 0.1;
+  EXPECT_THROW(run_experiment_lp(config), std::invalid_argument);
+
+  config = small_config();
+  config.lp_threads = 2;
+  config.trace_csv_path = "/tmp/never-written.csv";
+  EXPECT_THROW(run_experiment_lp(config), std::invalid_argument);
+
+  config = small_config();
+  config.lp_threads = 2;
+  config.on_finish = [](core::LocationScheme&) {};
+  EXPECT_THROW(run_experiment_lp(config), std::invalid_argument);
+}
+
+TEST(ParallelLpExperimentTest, SingleNodeRunsWithoutMovement) {
+  ExperimentConfig config = small_config();
+  config.nodes = 1;
+  config.total_queries = 40;
+  config.lp_threads = 4;  // clamps to 1 LP
+  const ExperimentResult result = run_experiment_lp(config);
+  EXPECT_EQ(result.tagent_moves, 0u);
+  EXPECT_EQ(result.queries_found, 40u) << "co-located lookups always hit";
+  EXPECT_EQ(result.lp_threads_used, 1u);
+}
+
+}  // namespace
+}  // namespace agentloc::workload
