@@ -3,9 +3,10 @@
 
 Matches rows by ``name`` and compares throughput (``items_per_second``;
 additionally the ``messages_per_sec`` headline in ``meta`` when both files
-carry it). Memory watermarks in ``meta`` (``bytes_per_agent``,
-``peak_inbox_depth``) are compared in the opposite direction — growing past
-the threshold is the regression. A metric regressing by more than the
+carry it). Memory watermarks (``bytes_per_agent``, ``peak_inbox_depth``,
+``peak_resident_bytes``) — whether in ``meta`` or attached to individual
+rows, as ``bench_scale`` does per cell — are compared in the opposite
+direction: growing past the threshold is the regression. A metric regressing by more than the
 threshold is reported; with
 ``--fail`` the script exits non-zero so CI can gate on it. Rows present only
 in the fresh run (new benchmarks) or only in the baseline (removed ones) are
@@ -23,9 +24,14 @@ import json
 import sys
 
 
-# Meta fields where *lower* is better: these are resource watermarks, so
-# the regression direction is growth.
-LOWER_IS_BETTER_META = ("bytes_per_agent", "peak_inbox_depth")
+# Fields where *lower* is better: these are resource watermarks, so the
+# regression direction is growth. Checked both in ``meta`` and per row.
+LOWER_IS_BETTER_META = (
+    "bytes_per_agent",
+    "peak_inbox_depth",
+    "peak_resident_bytes",
+)
+LOWER_IS_BETTER_ROW = ("bytes_per_agent", "peak_resident_bytes")
 
 
 def load_rates(path):
@@ -43,9 +49,14 @@ def load_rates(path):
                 lower[f"meta:{key}"] = float(meta[key])
     for row in doc.get("rows", []):
         name = row.get("name")
+        if name is None:
+            continue
         rate = row.get("items_per_second")
-        if name is not None and rate is not None:
+        if rate is not None:
             rates[name] = float(rate)
+        for key in LOWER_IS_BETTER_ROW:
+            if key in row and float(row[key]) > 0:
+                lower[f"{name}:{key}"] = float(row[key])
     return rates, lower
 
 

@@ -4,6 +4,7 @@
 #include "core/scheme.hpp"
 #include "core/tracker_table.hpp"
 #include "platform/agent.hpp"
+#include "util/flat_map.hpp"
 
 namespace agentloc::core {
 
@@ -21,6 +22,10 @@ class CentralTracker : public platform::Agent {
 
   std::size_t entry_count() const noexcept { return table_.size(); }
   std::uint64_t requests_served() const noexcept { return requests_; }
+  std::size_t resident_bytes() const noexcept {
+    return table_.resident_bytes();
+  }
+  void reserve(std::size_t agents) { table_.reserve(agents); }
 
  private:
   LocationTable table_;
@@ -46,6 +51,18 @@ class CentralizedLocationScheme : public LocationScheme {
 
   std::size_t tracker_count() const override { return 1; }
 
+  std::size_t estimated_resident_bytes() const noexcept override {
+    std::size_t bytes = seqs_.capacity() *
+                        (sizeof(platform::AgentId) + sizeof(std::uint64_t));
+    if (tracker_ != nullptr) bytes += tracker_->resident_bytes();
+    return bytes;
+  }
+
+  void reserve(std::size_t agents) override {
+    seqs_.reserve(agents);
+    if (tracker_ != nullptr) tracker_->reserve(agents);
+  }
+
   CentralTracker& tracker() noexcept { return *tracker_; }
 
  private:
@@ -59,7 +76,8 @@ class CentralizedLocationScheme : public LocationScheme {
   MechanismConfig config_;
   CentralTracker* tracker_ = nullptr;
   platform::AgentAddress tracker_address_;
-  std::unordered_map<platform::AgentId, std::uint64_t> seqs_;
+  /// Per-agent update sequence numbers (flat storage; see HashLocationScheme).
+  util::FlatMap<platform::AgentId, std::uint64_t, platform::kNoAgent> seqs_;
 };
 
 }  // namespace agentloc::core

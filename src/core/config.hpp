@@ -130,6 +130,20 @@ struct MechanismConfig {
   /// A flush triggers early once this many distinct agents are pending.
   std::size_t batch_max_entries = 32;
 
+  /// Batch-first at scale: tracked-population size at or above which the
+  /// experiment harness turns `update_batching` on and pre-sizes the scheme
+  /// tables for the population (0 disables auto-scaling). Per-update wire
+  /// messages dominate at million-agent populations; below the threshold
+  /// nothing changes, so small fixed-seed baselines stay bit-identical.
+  std::size_t batch_auto_threshold = 10000;
+
+  /// Pre-split the primary copy to this many IAgents (rounded up to a power
+  /// of two) at bootstrap, before any traffic. With one initial IAgent a
+  /// million registrations funnel through one inbox until enough splits
+  /// complete; pre-splitting starts the run at the capacity the population
+  /// needs. 0 or 1 keeps the paper's single-IAgent bootstrap.
+  std::size_t initial_iagents = 1;
+
   /// Per-node location caching with staleness-safe optimistic locates
   /// (DESIGN.md §12). Default off.
   LocationCacheConfig location_cache;

@@ -21,15 +21,15 @@ void ForwarderAgent::on_message(const platform::Message& message) {
     }
   } else if (const auto* chase = message.body_as<ChaseRequest>()) {
     ChaseReply reply;
-    const auto it = state_.find(chase->target);
-    if (it == state_.end()) {
+    const Slot* slot = state_.find(chase->target);
+    if (slot == nullptr) {
       reply.kind = ChaseReply::Kind::kUnknown;
-    } else if (it->second.here) {
+    } else if (slot->here) {
       reply.kind = ChaseReply::Kind::kHere;
       reply.next = node();
-    } else if (it->second.next != net::kNoNode) {
+    } else if (slot->next != net::kNoNode) {
       reply.kind = ChaseReply::Kind::kForward;
-      reply.next = it->second.next;
+      reply.next = slot->next;
     } else {
       reply.kind = ChaseReply::Kind::kUnknown;
     }
@@ -82,11 +82,11 @@ void ForwardingLocationScheme::update_location(platform::Agent& self,
     return;
   }
   const std::uint64_t seq = ++seqs_[self.id()];
-  const auto previous = last_node_.find(self.id());
-  if (previous != last_node_.end() && previous->second != *node) {
+  const net::NodeId* previous = last_node_.find(self.id());
+  if (previous != nullptr && *previous != *node) {
     // Leave a pointer behind; no name-service update (Voyager's lazy mode —
     // the name service learns on the next successful chase).
-    system_.send(self.id(), forwarder_at(previous->second),
+    system_.send(self.id(), forwarder_at(*previous),
                  SetForward{self.id(), *node, seq}, SetForward::kWireBytes);
   }
   last_node_[self.id()] = *node;

@@ -1,10 +1,9 @@
 #pragma once
 
-#include <unordered_map>
-
 #include "core/centralized_scheme.hpp"
 #include "core/config.hpp"
 #include "core/scheme.hpp"
+#include "util/flat_map.hpp"
 
 namespace agentloc::core {
 
@@ -45,6 +44,10 @@ class ForwarderAgent : public platform::Agent {
   void on_message(const platform::Message& message) override;
 
   std::size_t pointer_count() const noexcept { return state_.size(); }
+  std::size_t resident_bytes() const noexcept {
+    return state_.capacity() * (sizeof(platform::AgentId) + sizeof(Slot));
+  }
+  void reserve(std::size_t agents) { state_.reserve(agents); }
 
  private:
   struct Slot {
@@ -52,7 +55,7 @@ class ForwarderAgent : public platform::Agent {
     net::NodeId next = net::kNoNode;
     std::uint64_t seq = 0;
   };
-  std::unordered_map<platform::AgentId, Slot> state_;
+  util::FlatMap<platform::AgentId, Slot, platform::kNoAgent> state_;
 };
 
 /// Voyager-style scheme (paper §6): a name service records where each agent
@@ -83,6 +86,31 @@ class ForwardingLocationScheme : public LocationScheme {
     return 1 + forwarders_.size();
   }
 
+  std::size_t estimated_resident_bytes() const noexcept override {
+    std::size_t bytes =
+        seqs_.capacity() *
+            (sizeof(platform::AgentId) + sizeof(std::uint64_t)) +
+        last_node_.capacity() *
+            (sizeof(platform::AgentId) + sizeof(net::NodeId)) +
+        forwarders_.capacity() * sizeof(ForwarderAgent*);
+    if (name_service_ != nullptr) bytes += name_service_->resident_bytes();
+    for (const ForwarderAgent* forwarder : forwarders_) {
+      bytes += forwarder->resident_bytes();
+    }
+    return bytes;
+  }
+
+  void reserve(std::size_t agents) override {
+    seqs_.reserve(agents);
+    last_node_.reserve(agents);
+    if (name_service_ != nullptr) name_service_->reserve(agents);
+    // Pointers concentrate where agents linger; a uniform share is the best
+    // static guess and growth past it is just a normal rehash.
+    if (forwarders_.empty()) return;
+    const std::size_t share = agents / forwarders_.size() + 1;
+    for (ForwarderAgent* forwarder : forwarders_) forwarder->reserve(share);
+  }
+
   /// Hop counts of completed chases (for the ablation's chain-length story).
   std::uint64_t chase_hops() const noexcept { return chase_hops_; }
 
@@ -102,8 +130,11 @@ class ForwardingLocationScheme : public LocationScheme {
   CentralTracker* name_service_ = nullptr;
   platform::AgentAddress name_service_address_;
   std::vector<ForwarderAgent*> forwarders_;
-  std::unordered_map<platform::AgentId, std::uint64_t> seqs_;
-  std::unordered_map<platform::AgentId, net::NodeId> last_node_;
+  /// Per-agent update sequence numbers and last-reported nodes (flat
+  /// storage; see HashLocationScheme).
+  util::FlatMap<platform::AgentId, std::uint64_t, platform::kNoAgent> seqs_;
+  util::FlatMap<platform::AgentId, net::NodeId, platform::kNoAgent>
+      last_node_;
   std::uint64_t chase_hops_ = 0;
 };
 

@@ -26,11 +26,29 @@ platform::AgentId HAgent::bootstrap(net::NodeId first_node) {
       system().create<IAgent>(first_node, config_, coordinator_list());
   tree_.emplace(first.id(), first_node);
 
-  // Grant the initial (match-everything) responsibility so the IAgent knows
-  // the current hash version.
-  ResponsibilityUpdate grant;
-  grant.version = tree_->version();
-  send_grant(first.id(), grant);
+  // Optional capacity pre-split (DESIGN.md §15): grow the tree to
+  // `initial_iagents` leaves (rounded up to a power of two) before any
+  // traffic, by splitting every leaf once per round on its first unused
+  // bit. Tables are empty, so no handoffs are owed — each leaf just gets
+  // its predicate granted below. The ops are not journaled: every
+  // secondary copy is seeded from this tree after bootstrap returns.
+  while (config_.initial_iagents > tree_->leaf_count()) {
+    for (const hashtree::IAgentId victim : tree_->leaves()) {
+      const net::NodeId node = place_new_iagent();
+      IAgent& fresh =
+          system().create<IAgent>(node, config_, coordinator_list());
+      tree_->simple_split(victim, 1, fresh.id(), node);
+    }
+  }
+
+  // Grant each leaf its responsibility so the IAgents know the current hash
+  // version (the match-everything predicate in the single-IAgent case).
+  for (const hashtree::IAgentId leaf : tree_->leaves()) {
+    ResponsibilityUpdate grant;
+    grant.version = tree_->version();
+    grant.predicate = predicate_of(*tree_, leaf);
+    send_grant(leaf, grant);
+  }
   return first.id();
 }
 

@@ -96,6 +96,13 @@ class HAgent : public platform::Agent {
 
   const HAgentStats& stats() const noexcept { return stats_; }
   bool rehash_in_progress() const noexcept { return busy_; }
+
+  /// Allocated bytes of the primary copy (serialized size as proxy) plus the
+  /// retained replication journal.
+  std::size_t resident_bytes() const noexcept {
+    return (tree_ ? tree_->serialized_bytes() : 0) +
+           static_cast<std::size_t>(stats_.journal_bytes);
+  }
   std::size_t iagent_count() const {
     return tree_ ? tree_->leaf_count() : 0;
   }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/iagent.hpp"
 #include "util/logging.hpp"
 
 namespace agentloc::core {
@@ -528,6 +529,55 @@ const SchemeStats& HashLocationScheme::stats() const noexcept {
     stats.cache_invalidations += counters.invalidations;
   }
   return stats_;
+}
+
+std::size_t HashLocationScheme::estimated_resident_bytes() const noexcept {
+  // Mirror hagent()'s primary selection, const-safely: `hagent_` dangles
+  // once the primary is disposed (failover tests), so only touch it while
+  // the platform still knows the id.
+  const HAgent* primary = nullptr;
+  if (system_.exists(hagent_id_)) {
+    primary = hagent_;
+  } else if (backup_ != nullptr) {
+    primary = backup_;
+  }
+
+  std::size_t bytes =
+      seqs_.capacity() * (sizeof(platform::AgentId) + sizeof(std::uint64_t));
+  if (primary != nullptr) bytes += primary->resident_bytes();
+  if (backup_ != nullptr && backup_ != primary) {
+    bytes += backup_->resident_bytes();
+  }
+  for (const LHAgent* lhagent : lhagents_) {
+    bytes += lhagent->resident_bytes();
+  }
+
+  // The tree's leaves ARE the IAgents (hashtree::IAgentId == platform
+  // AgentId), so the live tracker population is enumerable through the
+  // primary copy. A leaf mid-retirement may already be disposed — skip it.
+  if (primary != nullptr && primary->iagent_count() > 0) {
+    primary->tree().for_each_leaf(
+        [&](hashtree::IAgentId leaf, hashtree::NodeLocation) {
+          const auto* iagent = dynamic_cast<const IAgent*>(system_.find(leaf));
+          if (iagent != nullptr) bytes += iagent->resident_bytes();
+        });
+  }
+  return bytes;
+}
+
+void HashLocationScheme::reserve(std::size_t agents) {
+  seqs_.reserve(agents);
+  const HAgent* primary = system_.exists(hagent_id_) ? hagent_ : backup_;
+  if (primary == nullptr || primary->iagent_count() == 0) return;
+  // Responsibility is hash-partitioned across the current leaves; size each
+  // for a uniform share (later splits re-home entries with their own
+  // handoff-time reserve).
+  const std::size_t share = agents / primary->iagent_count() + 1;
+  primary->tree().for_each_leaf(
+      [&](hashtree::IAgentId leaf, hashtree::NodeLocation) {
+        auto* iagent = dynamic_cast<IAgent*>(system_.find(leaf));
+        if (iagent != nullptr) iagent->reserve(share);
+      });
 }
 
 }  // namespace agentloc::core

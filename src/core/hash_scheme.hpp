@@ -2,7 +2,6 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "core/hagent.hpp"
 #include "core/lhagent.hpp"
 #include "core/scheme.hpp"
+#include "util/flat_map.hpp"
 
 namespace agentloc::core {
 
@@ -51,6 +51,14 @@ class HashLocationScheme : public LocationScheme {
   /// Folds the per-node location-cache counters into the cache_* fields at
   /// read time (they accumulate inside each LHAgent's cache).
   const SchemeStats& stats() const noexcept override;
+
+  /// Client seq table + every live IAgent's tables + both hash-copy tiers
+  /// (HAgent primary + journal, per-node LHAgent copies, batchers, caches).
+  std::size_t estimated_resident_bytes() const noexcept override;
+
+  /// Pre-sizes the client seq table and the current IAgents' tables for an
+  /// expected tracked population.
+  void reserve(std::size_t agents) override;
 
   std::size_t tracker_count() const override {
     if (!system_.exists(hagent_id_) && backup_ != nullptr) {
@@ -155,7 +163,11 @@ class HashLocationScheme : public LocationScheme {
   platform::AgentId hagent_id_ = platform::kNoAgent;
   HAgent* backup_ = nullptr;
   std::vector<LHAgent*> lhagents_;
-  std::unordered_map<platform::AgentId, std::uint64_t> seqs_;
+  /// Per-agent update sequence numbers. Open-addressing flat storage: at
+  /// million-agent populations this table holds one slot per tracked agent,
+  /// so the node-and-bucket overhead of `std::unordered_map` (~56 bytes per
+  /// entry) would rival the payload; a FlatMap slot is 16 bytes.
+  util::FlatMap<platform::AgentId, std::uint64_t, platform::kNoAgent> seqs_;
   std::vector<std::unique_ptr<PendingWatch>> pending_watches_;
   std::uint64_t watch_tokens_ = 0;
   std::map<FlightKey, std::vector<FlightWaiter>> locate_flights_;

@@ -3,6 +3,7 @@
 #include "core/centralized_scheme.hpp"
 #include "core/config.hpp"
 #include "core/scheme.hpp"
+#include "util/flat_map.hpp"
 
 namespace agentloc::core {
 
@@ -35,6 +36,23 @@ class HomeRegistryLocationScheme : public LocationScheme {
 
   std::size_t tracker_count() const override { return registries_.size(); }
 
+  std::size_t estimated_resident_bytes() const noexcept override {
+    std::size_t bytes = seqs_.capacity() *
+                        (sizeof(platform::AgentId) + sizeof(std::uint64_t));
+    for (const CentralTracker* registry : registries_) {
+      bytes += registry->resident_bytes();
+    }
+    return bytes;
+  }
+
+  void reserve(std::size_t agents) override {
+    seqs_.reserve(agents);
+    if (registries_.empty()) return;
+    // Homes spread by `id mod #nodes` — size each registry for its share.
+    const std::size_t share = agents / registries_.size() + 1;
+    for (CentralTracker* registry : registries_) registry->reserve(share);
+  }
+
   /// The registry responsible for `agent` (by the naming convention).
   platform::AgentAddress home_of(platform::AgentId agent) const;
 
@@ -48,7 +66,8 @@ class HomeRegistryLocationScheme : public LocationScheme {
   platform::AgentSystem& system_;
   MechanismConfig config_;
   std::vector<CentralTracker*> registries_;
-  std::unordered_map<platform::AgentId, std::uint64_t> seqs_;
+  /// Per-agent update sequence numbers (flat storage; see HashLocationScheme).
+  util::FlatMap<platform::AgentId, std::uint64_t, platform::kNoAgent> seqs_;
 };
 
 }  // namespace agentloc::core

@@ -1,7 +1,6 @@
 #include "core/iagent.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
 #include "platform/agent_system.hpp"
@@ -165,10 +164,10 @@ void IAgent::handle_watch(const platform::Message& message,
 }
 
 void IAgent::fire_watchers(const LocationEntry& entry) {
-  const auto it = watchers_.find(entry.agent);
-  if (it == watchers_.end()) return;
-  std::vector<platform::AgentAddress> list = std::move(it->second);
-  watchers_.erase(it);
+  auto* found = watchers_.find(entry.agent);
+  if (found == nullptr) return;
+  std::vector<platform::AgentAddress> list = std::move(*found);
+  watchers_.erase(entry.agent);
   for (const platform::AgentAddress& watcher : list) {
     ++stats_.watches_fired;
     system().send(id(), watcher, WatchNotify{entry},
@@ -357,15 +356,18 @@ void IAgent::maybe_request_rehash() {
 
 void IAgent::consider_locality_migration() {
   if (retiring_ || table_.size() == 0) return;
-  std::unordered_map<net::NodeId, std::size_t> per_node;
+  // Node-indexed histogram instead of a hash map: node ids are dense and
+  // small, so this is one cache-friendly pass, and ties break toward the
+  // lowest node id instead of whatever order the hash table walks.
+  per_node_counts_.assign(system().node_count(), 0);
   table_.for_each(
-      [&](const LocationEntry& entry) { ++per_node[entry.node]; });
+      [&](const LocationEntry& entry) { ++per_node_counts_[entry.node]; });
   net::NodeId best = node();
   std::size_t best_count = 0;
-  for (const auto& [where, count] : per_node) {
-    if (count > best_count) {
+  for (net::NodeId where = 0; where < per_node_counts_.size(); ++where) {
+    if (per_node_counts_[where] > best_count) {
       best = where;
-      best_count = count;
+      best_count = per_node_counts_[where];
     }
   }
   const double fraction =

@@ -2,7 +2,6 @@
 
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 #include <optional>
 
@@ -10,6 +9,7 @@
 #include "core/tracker_table.hpp"
 #include "platform/agent.hpp"
 #include "sim/timer.hpp"
+#include "util/flat_map.hpp"
 
 namespace agentloc::core {
 
@@ -75,6 +75,27 @@ class IAgent : public platform::Agent {
 
   const IAgentStats& stats() const noexcept { return stats_; }
   std::size_t entry_count() const noexcept { return table_.size(); }
+
+  /// Pre-size the location table for an expected share of the tracked
+  /// population (bulk registration would otherwise rehash repeatedly).
+  void reserve(std::size_t agents) { table_.reserve(agents); }
+
+  /// Allocated bytes of the tracking state this IAgent holds: location
+  /// table, load window, watcher lists, and the locality scratch histogram.
+  /// Feeds `LocationScheme::estimated_resident_bytes`.
+  std::size_t resident_bytes() const noexcept {
+    std::size_t watcher_bytes =
+        watchers_.capacity() *
+        (sizeof(platform::AgentId) +
+         sizeof(std::vector<platform::AgentAddress>));
+    watchers_.for_each(
+        [&](platform::AgentId,
+            const std::vector<platform::AgentAddress>& list) {
+          watcher_bytes += list.capacity() * sizeof(platform::AgentAddress);
+        });
+    return table_.resident_bytes() + window_.resident_bytes() +
+           watcher_bytes + per_node_counts_.capacity() * sizeof(std::size_t);
+  }
   const Predicate& predicate() const noexcept { return predicate_; }
   std::uint64_t hash_version() const noexcept { return hash_version_; }
   double last_window_rate() const noexcept { return window_.rate(); }
@@ -137,10 +158,15 @@ class IAgent : public platform::Agent {
   sim::SimTime transient_until_ = sim::SimTime::zero();
   sim::SimTime created_at_ = sim::SimTime::zero();
 
-  /// Guaranteed-discovery extension: one-shot subscribers per tracked agent.
-  std::unordered_map<platform::AgentId,
-                     std::vector<platform::AgentAddress>>
+  /// Guaranteed-discovery extension: one-shot subscribers per tracked agent
+  /// (flat storage — same footprint argument as the scheme seq tables).
+  util::FlatMap<platform::AgentId, std::vector<platform::AgentAddress>,
+                platform::kNoAgent>
       watchers_;
+
+  /// Scratch histogram for `consider_locality_migration` (node-indexed;
+  /// kept as a member so the periodic roll never reallocates).
+  std::vector<std::size_t> per_node_counts_;
 
   bool retiring_ = false;
   std::size_t retire_outstanding_ = 0;

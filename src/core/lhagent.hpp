@@ -65,6 +65,16 @@ class LHAgent : public platform::Agent {
   const LHAgentStats& stats() const noexcept { return stats_; }
   const hashtree::HashTree& tree() const noexcept { return tree_; }
 
+  /// Allocated bytes of this node's mechanism state: the secondary hash
+  /// copy (serialized size as proxy), the update batcher, and the location
+  /// cache. Feeds `HashLocationScheme::estimated_resident_bytes`.
+  std::size_t resident_bytes() const noexcept {
+    std::size_t bytes = tree_.serialized_bytes();
+    if (batcher_ != nullptr) bytes += batcher_->resident_bytes();
+    if (cache_ != nullptr) bytes += cache_->resident_bytes();
+    return bytes;
+  }
+
   /// Pull the primary copy from the HAgent, then run `done` (also on
   /// failure — the caller retries end-to-end). Coalesces concurrent calls.
   void refresh(std::function<void()> done);

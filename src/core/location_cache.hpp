@@ -84,6 +84,12 @@ class LocationCache {
   sim::SimTime ttl() const noexcept { return ttl_; }
   const LocationCacheStats& stats() const noexcept { return stats_; }
 
+  /// Allocated bytes of the slot array and CLOCK hands.
+  std::size_t resident_bytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot) +
+           hands_.capacity() * sizeof(std::uint8_t);
+  }
+
  private:
   struct Slot {
     platform::AgentId agent = platform::kNoAgent;

@@ -109,6 +109,18 @@ class LocationScheme {
   /// per-node caches) can fold them in at read time.
   virtual const SchemeStats& stats() const noexcept { return stats_; }
 
+  /// Allocated bytes of the scheme-side tracking state: location tables,
+  /// per-client sequence counters, caches, batchers. Complements
+  /// `AgentSystem::estimated_resident_bytes` (which counts platform records
+  /// and inboxes but cannot see inside tracker agents) so bytes-per-agent
+  /// reporting covers the whole mechanism.
+  virtual std::size_t estimated_resident_bytes() const noexcept { return 0; }
+
+  /// Pre-size scheme tables for an expected tracked population (mirrors
+  /// `AgentSystem::reserve`) — bulk registration at million-agent scale
+  /// would otherwise rehash every table repeatedly.
+  virtual void reserve(std::size_t agents) { (void)agents; }
+
  protected:
   SchemeStats stats_;
 };

@@ -38,6 +38,13 @@ class LocationTable {
   /// would otherwise rehash repeatedly while inserting.
   void reserve(std::size_t count) { entries_.reserve(count); }
 
+  /// Allocated bytes of the backing slot array (key + value per slot, the
+  /// unit FlatMap allocates). Feeds the scheme-side memory attribution.
+  std::size_t resident_bytes() const noexcept {
+    return entries_.capacity() *
+           (sizeof(platform::AgentId) + sizeof(Stored));
+  }
+
   /// Remove and return every entry matching `predicate` — the handoff scan
   /// performed when responsibility shrinks.
   std::vector<LocationEntry> extract_matching(const Predicate& predicate);
@@ -98,6 +105,12 @@ class LoadWindow {
 
   /// Number of windows closed so far.
   std::uint64_t rolls() const noexcept { return rolls_; }
+
+  /// Allocated bytes of both count tables.
+  std::size_t resident_bytes() const noexcept {
+    return (open_counts_.capacity() + closed_counts_.capacity()) *
+           (sizeof(platform::AgentId) + sizeof(std::uint32_t));
+  }
 
  private:
   using Counts = util::FlatMap<platform::AgentId, std::uint32_t,

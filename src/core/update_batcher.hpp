@@ -54,6 +54,13 @@ class UpdateBatcher {
   std::size_t pending() const noexcept { return pending_.size(); }
   const UpdateBatcherStats& stats() const noexcept { return stats_; }
 
+  /// Allocated bytes of the pending pool and its id index.
+  std::size_t resident_bytes() const noexcept {
+    return pending_.capacity() * sizeof(LocationEntry) +
+           index_.capacity() *
+               (sizeof(platform::AgentId) + sizeof(std::uint32_t));
+  }
+
  private:
   void arm_timer();
 

@@ -22,17 +22,64 @@ AgentSystem::AgentSystem(sim::Simulator& simulator, net::Network& network,
     : simulator_(simulator),
       network_(network),
       config_(config),
-      services_(network.node_count()) {}
+      services_(network.node_count()) {
+  if (config_.reserve_agents > 0) reserve(config_.reserve_agents);
+}
 
 AgentSystem::~AgentSystem() = default;
+
+void AgentSystem::reserve(std::size_t agents) {
+  index_.reserve(agents);
+  slots_.reserve(agents);
+  agents_.reserve(agents);
+}
 
 AgentId AgentSystem::allocate_id() {
   for (;;) {
     ++id_counter_;
     const AgentId id =
         config_.mixed_ids ? util::mix64(id_counter_) : id_counter_;
-    if (id != kNoAgent && !records_.contains(id)) return id;
+    if (id != kNoAgent && !index_.contains(id)) return id;
   }
+}
+
+std::uint32_t AgentSystem::record_index(AgentId id) const noexcept {
+  const std::uint32_t* slot = index_.find(id);
+  return slot == nullptr ? kNoRecord : *slot;
+}
+
+AgentSystem::Slot* AgentSystem::find_record(AgentId id) noexcept {
+  const std::uint32_t slot = record_index(id);
+  return slot == kNoRecord ? nullptr : &slots_[slot];
+}
+
+const AgentSystem::Slot* AgentSystem::find_record(AgentId id) const noexcept {
+  const std::uint32_t slot = record_index(id);
+  return slot == kNoRecord ? nullptr : &slots_[slot];
+}
+
+std::uint32_t AgentSystem::acquire_record_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  agents_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void AgentSystem::release_record_slot(std::uint32_t slot) noexcept {
+  Slot& record = slots_[slot];
+  record.id = kNoAgent;
+  record.node = net::kNoNode;
+  // Invalidate every event still holding this slot's previous tenancy —
+  // whoever is installed here next starts with a fresh generation.
+  ++record.generation;
+  record.state = State::kActive;
+  record.serving = false;
+  record.disposing = false;
+  free_slots_.push_back(slot);
 }
 
 std::uint32_t AgentSystem::acquire_slot() {
@@ -42,6 +89,7 @@ std::uint32_t AgentSystem::acquire_slot() {
     return slot;
   }
   in_flight_.emplace_back();
+  note_memory_high_water();
   return static_cast<std::uint32_t>(in_flight_.size() - 1);
 }
 
@@ -54,16 +102,22 @@ util::RingBuffer<Message> AgentSystem::acquire_inbox() {
   if (inbox_pool_.empty()) return {};
   util::RingBuffer<Message> inbox = std::move(inbox_pool_.back());
   inbox_pool_.pop_back();
+  const std::size_t bytes = inbox.capacity() * sizeof(Message);
+  pooled_inbox_bytes_ -= bytes;
+  live_inbox_bytes_ += bytes;
   return inbox;
 }
 
 void AgentSystem::recycle_inbox(util::RingBuffer<Message>&& inbox) {
+  const std::size_t bytes = inbox.capacity() * sizeof(Message);
+  live_inbox_bytes_ -= bytes;
   if (inbox.capacity() == 0) return;  // nothing warmed up, nothing to keep
   if (inbox_pool_.size() >= kMaxPooledInboxes) return;  // let it free
+  pooled_inbox_bytes_ += bytes;
   inbox_pool_.push_back(std::move(inbox));
 }
 
-void AgentSystem::drain_inbox_bouncing(Record& record) {
+void AgentSystem::drain_inbox_bouncing(Slot& record) {
   while (!record.inbox.empty()) {
     const Message message = record.inbox.pop_front();
     bounce(message);
@@ -79,32 +133,36 @@ void AgentSystem::install(std::unique_ptr<Agent> owned, net::NodeId node) {
   agent.id_ = allocate_id();
   agent.node_ = node;
 
-  Record record;
-  record.agent = std::move(owned);
-  record.inbox = acquire_inbox();
   const AgentId id = agent.id();
-  const std::uint64_t epoch = record.epoch;
-  records_.emplace(id, std::move(record));
-  ++records_version_;
+  const std::uint32_t slot = acquire_record_slot();
+  Slot& record = slots_[slot];
+  record.id = id;
+  record.node = node;
+  record.inbox = acquire_inbox();
+  agents_[slot] = std::move(owned);
+  index_.emplace(id, slot);
   ++stats_.agents_created;
+  note_memory_high_water();
 
-  simulator_.schedule_after(sim::SimTime::zero(), [this, id, epoch] {
-    Record* record = records_.find(id);
-    if (record == nullptr || record->epoch != epoch) return;
-    record->agent->on_start();
+  const std::uint32_t generation = record.generation;
+  simulator_.schedule_after(sim::SimTime::zero(), [this, slot, generation] {
+    Slot& record = slots_[slot];
+    if (record.generation != generation) return;
+    agents_[slot]->on_start();
   });
 }
 
 void AgentSystem::dispose(AgentId id) {
-  Record* found = records_.find(id);
-  if (found == nullptr || found->disposing) return;
-  found->disposing = true;  // reentrant dispose(id) becomes a no-op
-  ++found->epoch;
+  const std::uint32_t slot = record_index(id);
+  if (slot == kNoRecord || slots_[slot].disposing) return;
+  slots_[slot].disposing = true;  // reentrant dispose(id) becomes a no-op
+  ++slots_[slot].generation;
 
   // Queued messages can no longer be served; bounce them to their senders.
-  // The inbox moves to a local buffer first — bounce only transmits, but
-  // FlatMap references would not survive the callbacks below.
-  util::RingBuffer<Message> inbox = std::move(found->inbox);
+  // The inbox moves to a local buffer first — bounce only transmits, but the
+  // slot reference would not survive the callbacks below if they install
+  // agents (slab growth may reallocate).
+  util::RingBuffer<Message> inbox = std::move(slots_[slot].inbox);
   while (!inbox.empty()) {
     const Message message = inbox.pop_front();
     bounce(message);
@@ -112,25 +170,24 @@ void AgentSystem::dispose(AgentId id) {
   recycle_inbox(std::move(inbox));
 
   // The dropped-RPC callbacks and on_dispose may create or dispose other
-  // agents, which rehashes or back-shifts records_ — re-find after each.
+  // agents; erasure never moves slab records, but growth may reallocate the
+  // arrays, so re-index `slots_[slot]` after each.
   drop_rpcs_from(id);
 
-  Record* record = records_.find(id);
   // Remove any service registrations pointing at the agent.
-  unregister_agent_services(record->agent->node(), id);
+  unregister_agent_services(slots_[slot].node, id);
 
   // The contract protocol teardown relies on: on_dispose runs before
   // removal, so the agent can still send (e.g. deregister itself).
-  record->agent->on_dispose();
+  agents_[slot]->on_dispose();
 
-  record = records_.find(id);
-  record->agent->system_ = nullptr;
+  agents_[slot]->system_ = nullptr;
 
   // The agent may be disposing itself from inside one of its own callbacks;
   // defer destruction until the stack unwinds.
-  graveyard_.push_back(std::move(record->agent));
-  records_.erase(id);
-  ++records_version_;
+  graveyard_.push_back(std::move(agents_[slot]));
+  index_.erase(id);
+  release_record_slot(slot);
   ++stats_.agents_disposed;
   if (!graveyard_sweep_scheduled_) {
     graveyard_sweep_scheduled_ = true;
@@ -145,17 +202,17 @@ void AgentSystem::migrate(AgentId id, net::NodeId destination) {
   if (destination >= network_.node_count()) {
     throw std::out_of_range("AgentSystem::migrate: node out of range");
   }
-  Record* found = records_.find(id);
-  if (found == nullptr) {
+  const std::uint32_t slot = record_index(id);
+  if (slot == kNoRecord) {
     throw std::logic_error("AgentSystem::migrate: unknown agent");
   }
-  Record& record = *found;
+  Slot& record = slots_[slot];
   if (record.state != State::kActive) {
     throw std::logic_error("AgentSystem::migrate: agent already in transit");
   }
 
-  const net::NodeId source = record.agent->node();
-  ++record.epoch;
+  const net::NodeId source = record.node;
+  ++record.generation;
   record.state = State::kInTransit;
   record.serving = false;
   drain_inbox_bouncing(record);
@@ -164,50 +221,52 @@ void AgentSystem::migrate(AgentId id, net::NodeId destination) {
   // A mobile service provider leaves its registrations behind.
   unregister_agent_services(source, id);
 
-  record.agent->node_ = net::kNoNode;
+  record.node = net::kNoNode;
+  agents_[slot]->node_ = net::kNoNode;
   ++stats_.migrations_started;
-  ship_migration(id, record.epoch, source, destination,
-                 record.agent->serialized_size());
+  ship_migration(slot, record.generation, source, destination,
+                 agents_[slot]->serialized_size());
 }
 
-void AgentSystem::ship_migration(AgentId id, std::uint64_t epoch,
+void AgentSystem::ship_migration(std::uint32_t slot, std::uint32_t generation,
                                  net::NodeId source, net::NodeId destination,
                                  std::size_t bytes) {
   const bool sent = network_.send(
-      source, destination, bytes, [this, id, epoch, source, destination] {
-        Record* record = records_.find(id);
-        if (record == nullptr || record->epoch != epoch) return;
+      source, destination, bytes,
+      [this, slot, generation, source, destination] {
+        Slot& record = slots_[slot];
+        if (record.generation != generation) return;
         // A fault plan may duplicate the transfer; only the first copy
         // installs the agent.
-        if (record->state != State::kInTransit) return;
-        record->state = State::kActive;
-        record->agent->node_ = destination;
-        record->inbox = acquire_inbox();
+        if (record.state != State::kInTransit) return;
+        record.state = State::kActive;
+        record.node = destination;
+        agents_[slot]->node_ = destination;
+        record.inbox = acquire_inbox();
         ++stats_.migrations_completed;
-        record->agent->on_arrival(source);
+        agents_[slot]->on_arrival(source);
       });
   if (!sent) {
     // Migration rides reliable transport: retry until the fault plan lets
     // it through (a partitioned destination delays, never loses, the agent).
     simulator_.schedule_after(
         config_.migration_retry,
-        [this, id, epoch, source, destination, bytes] {
-          Record* record = records_.find(id);
-          if (record == nullptr || record->epoch != epoch) return;
-          ship_migration(id, epoch, source, destination, bytes);
+        [this, slot, generation, source, destination, bytes] {
+          if (slots_[slot].generation != generation) return;
+          ship_migration(slot, generation, source, destination, bytes);
         });
   }
 }
 
 void AgentSystem::send(AgentId from, const AgentAddress& to,
                        util::PayloadBox body, std::size_t wire_bytes) {
-  const Record* sender = records_.find(from);
+  const Slot* sender = find_record(from);
   if (sender == nullptr || sender->state != State::kActive) {
     throw std::logic_error("AgentSystem::send: sender not active");
   }
   Message message;
   message.from = from;
-  message.from_node = sender->agent->node();
+  message.from_node = sender->node;
   message.to = to.agent;
   message.wire_bytes = wire_bytes;
   message.body = std::move(body);
@@ -218,7 +277,7 @@ void AgentSystem::request(AgentId from, const AgentAddress& to,
                           util::PayloadBox body, std::size_t wire_bytes,
                           RpcCallback callback,
                           std::optional<sim::SimTime> timeout) {
-  const Record* sender = records_.find(from);
+  const Slot* sender = find_record(from);
   if (sender == nullptr || sender->state != State::kActive) {
     throw std::logic_error("AgentSystem::request: sender not active");
   }
@@ -234,7 +293,7 @@ void AgentSystem::request(AgentId from, const AgentAddress& to,
     callback(std::move(result));
     return;
   }
-  const net::NodeId from_node = sender->agent->node();
+  const net::NodeId from_node = sender->node;
   const std::uint64_t correlation = ++correlation_counter_;
 
   PendingRpc pending;
@@ -265,13 +324,13 @@ void AgentSystem::request(AgentId from, const AgentAddress& to,
 
 void AgentSystem::reply(const Message& request, AgentId from,
                         util::PayloadBox body, std::size_t wire_bytes) {
-  const Record* sender = records_.find(from);
+  const Slot* sender = find_record(from);
   if (sender == nullptr || sender->state != State::kActive) {
     throw std::logic_error("AgentSystem::reply: sender not active");
   }
   Message message;
   message.from = from;
-  message.from_node = sender->agent->node();
+  message.from_node = sender->node;
   message.to = request.from;
   message.correlation = request.correlation;
   message.is_reply = true;
@@ -353,11 +412,11 @@ void AgentSystem::on_burst(std::uint32_t head, net::NodeId node) {
     const std::uint32_t next = in_flight_[slot].next;
     network_.note_delivered(node);
     Message& message = in_flight_[slot].message;
-    Record* record = records_.find(message.to);
-    if (record != nullptr && record->state == State::kActive &&
-        record->agent->node() == node) {
+    const std::uint32_t target = record_index(message.to);
+    if (target != kNoRecord && slots_[target].state == State::kActive &&
+        slots_[target].node == node) {
       // `enqueue` runs no agent code, so deliver straight from the slot.
-      enqueue(*record, std::move(message));
+      enqueue(target, std::move(message));
       release_slot(slot);
     } else {
       Message bounced = std::move(message);
@@ -369,54 +428,58 @@ void AgentSystem::on_burst(std::uint32_t head, net::NodeId node) {
 }
 
 void AgentSystem::deliver(net::NodeId node, Message message) {
-  Record* record = records_.find(message.to);
-  const bool present = record != nullptr &&
-                       record->state == State::kActive &&
-                       record->agent->node() == node;
+  const std::uint32_t target = record_index(message.to);
+  const bool present = target != kNoRecord &&
+                       slots_[target].state == State::kActive &&
+                       slots_[target].node == node;
   if (!present) {
     bounce(message);
     return;
   }
-  enqueue(*record, std::move(message));
+  enqueue(target, std::move(message));
 }
 
-void AgentSystem::enqueue(Record& record, Message&& message) {
+void AgentSystem::enqueue(std::uint32_t slot, Message&& message) {
+  Slot& record = slots_[slot];
+  const std::size_t capacity_before = record.inbox.capacity();
   record.inbox.push_back(std::move(message));
+  if (record.inbox.capacity() != capacity_before) {
+    live_inbox_bytes_ +=
+        (record.inbox.capacity() - capacity_before) * sizeof(Message);
+    note_memory_high_water();
+  }
   stats_.peak_inbox_depth =
       std::max(stats_.peak_inbox_depth, record.inbox.size());
   if (!record.serving) {
     record.serving = true;
-    const AgentId id = record.agent->id();
-    const std::uint64_t epoch = record.epoch;
-    simulator_.schedule_after(config_.service_time,
-                              [this, id, epoch] { serve_next(id, epoch); });
+    const std::uint32_t generation = record.generation;
+    simulator_.schedule_after(config_.service_time, [this, slot, generation] {
+      serve_next(slot, generation);
+    });
   }
 }
 
-void AgentSystem::serve_next(AgentId id, std::uint64_t epoch) {
-  Record* record = records_.find(id);
-  if (record == nullptr || record->epoch != epoch || !record->serving ||
+void AgentSystem::serve_next(std::uint32_t slot, std::uint32_t generation) {
+  Slot* record = &slots_[slot];
+  if (record->generation != generation || !record->serving ||
       record->inbox.empty()) {
     return;
   }
   Message message = record->inbox.pop_front();
   ++stats_.messages_processed;
-  const std::uint64_t version = records_version_;
-  dispatch(*record->agent, message);
+  dispatch(*agents_[slot], message);
 
-  // The handler may have disposed or created agents, moving records_ slots
-  // under us; re-resolve, but only when the map actually changed. (Migration
-  // never moves slots — the epoch check below catches it.)
-  if (records_version_ != version) {
-    record = records_.find(id);
-    if (record == nullptr) return;
-  }
-  if (record->epoch != epoch) return;
+  // The handler may have installed agents, which can reallocate the slab
+  // arrays — re-index (erasure never moves records, so the slot itself is
+  // still ours unless the generation moved).
+  record = &slots_[slot];
+  if (record->generation != generation) return;
   if (record->inbox.empty()) {
     record->serving = false;
   } else {
-    simulator_.schedule_after(config_.service_time,
-                              [this, id, epoch] { serve_next(id, epoch); });
+    simulator_.schedule_after(config_.service_time, [this, slot, generation] {
+      serve_next(slot, generation);
+    });
   }
 }
 
@@ -509,6 +572,7 @@ void AgentSystem::register_service(net::NodeId node, const std::string& name,
   }
   const ServiceKey key = service_key(name);
   auto& local = services_[node];
+  const std::size_t capacity_before = local.capacity();
   const auto it = std::lower_bound(
       local.begin(), local.end(), key,
       [](const auto& entry, ServiceKey k) { return entry.first < k; });
@@ -517,6 +581,8 @@ void AgentSystem::register_service(net::NodeId node, const std::string& name,
   } else {
     local.insert(it, {key, agent});
   }
+  service_bytes_ += (local.capacity() - capacity_before) *
+                    sizeof(std::pair<ServiceKey, AgentId>);
 }
 
 void AgentSystem::unregister_service(net::NodeId node,
@@ -560,55 +626,62 @@ void AgentSystem::unregister_agent_services(net::NodeId node, AgentId id) {
 }
 
 bool AgentSystem::hosts(net::NodeId node, AgentId agent) const noexcept {
-  const Record* record = records_.find(agent);
+  const Slot* record = find_record(agent);
   return record != nullptr && record->state == State::kActive &&
-         record->agent->node() == node;
+         record->node == node;
 }
 
 bool AgentSystem::exists(AgentId id) const noexcept {
-  return records_.contains(id);
+  return index_.contains(id);
 }
 
 bool AgentSystem::in_transit(AgentId id) const noexcept {
-  const Record* record = records_.find(id);
+  const Slot* record = find_record(id);
   return record != nullptr && record->state == State::kInTransit;
 }
 
 std::optional<net::NodeId> AgentSystem::node_of(AgentId id) const noexcept {
-  const Record* record = records_.find(id);
+  const Slot* record = find_record(id);
   if (record == nullptr || record->state != State::kActive) {
     return std::nullopt;
   }
-  return record->agent->node();
+  return record->node;
 }
 
 Agent* AgentSystem::find(AgentId id) noexcept {
-  Record* record = records_.find(id);
-  return record == nullptr ? nullptr : record->agent.get();
+  const std::uint32_t slot = record_index(id);
+  return slot == kNoRecord ? nullptr : agents_[slot].get();
 }
 
 std::size_t AgentSystem::inbox_depth(AgentId id) const noexcept {
-  const Record* record = records_.find(id);
+  const Slot* record = find_record(id);
   return record == nullptr ? 0 : record->inbox.size();
 }
 
-std::size_t AgentSystem::estimated_resident_bytes() const noexcept {
+MemoryBreakdown AgentSystem::memory_breakdown() const noexcept {
+  MemoryBreakdown memory;
   // Slot sizes count key + value, the unit FlatMap actually allocates.
-  std::size_t bytes =
-      records_.capacity() * (sizeof(AgentId) + sizeof(Record)) +
-      pending_rpcs_.capacity() * (sizeof(std::uint64_t) + sizeof(PendingRpc)) +
-      in_flight_.capacity() * sizeof(InFlight);
-  records_.for_each([&bytes](AgentId, const Record& record) {
-    bytes += record.inbox.capacity() * sizeof(Message);
-  });
-  for (const util::RingBuffer<Message>& inbox : inbox_pool_) {
-    bytes += inbox.capacity() * sizeof(Message);
-  }
-  for (const std::vector<std::pair<ServiceKey, AgentId>>& node :
-       services_) {
-    bytes += node.capacity() * sizeof(std::pair<ServiceKey, AgentId>);
-  }
-  return bytes;
+  memory.agent_records =
+      slots_.capacity() * sizeof(Slot) +
+      agents_.capacity() * sizeof(std::unique_ptr<Agent>) +
+      free_slots_.capacity() * sizeof(std::uint32_t) +
+      index_.capacity() * (sizeof(AgentId) + sizeof(std::uint32_t));
+  memory.inboxes = live_inbox_bytes_ + pooled_inbox_bytes_;
+  memory.rpc_table =
+      pending_rpcs_.capacity() * (sizeof(std::uint64_t) + sizeof(PendingRpc));
+  memory.in_flight = in_flight_.capacity() * sizeof(InFlight);
+  memory.services =
+      services_.capacity() * sizeof(services_[0]) + service_bytes_;
+  return memory;
+}
+
+std::size_t AgentSystem::estimated_resident_bytes() const noexcept {
+  return memory_breakdown().total();
+}
+
+void AgentSystem::note_memory_high_water() noexcept {
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, estimated_resident_bytes());
 }
 
 }  // namespace agentloc::platform

@@ -37,6 +37,29 @@ struct RpcResult {
 /// path allocation-free where `std::function` spilled every capture.
 using RpcCallback = util::InlineFunction<void(RpcResult), 64>;
 
+/// Itemized estimate of the platform's resident heap bytes, by subsystem.
+/// Feeds `PlatformStats::bytes_per_agent` and the `bench_scale` memory
+/// curves; each component counts *capacity* (what is allocated), not
+/// momentary occupancy, because pooled capacity is what the process holds at
+/// steady state.
+struct MemoryBreakdown {
+  /// Agent record storage: hot slot array, cold agent-pointer array, the
+  /// free-slot list, and the id → slot index table.
+  std::size_t agent_records = 0;
+  /// Live and pooled inbox ring slabs.
+  std::size_t inboxes = 0;
+  /// Pending-RPC table slots.
+  std::size_t rpc_table = 0;
+  /// In-flight message slot pool.
+  std::size_t in_flight = 0;
+  /// Per-node service registry vectors.
+  std::size_t services = 0;
+
+  std::size_t total() const noexcept {
+    return agent_records + inboxes + rpc_table + in_flight + services;
+  }
+};
+
 /// Counters the benches report alongside location times.
 struct PlatformStats {
   std::uint64_t agents_created = 0;
@@ -63,6 +86,14 @@ struct PlatformStats {
   /// (`AgentSystem::estimated_resident_bytes / live_agent_count`), filled by
   /// the experiment harness; 0 while a run is in flight.
   double bytes_per_agent = 0.0;
+  /// High-water mark of `AgentSystem::estimated_resident_bytes`, sampled at
+  /// every allocation growth point (agent install, inbox growth, in-flight
+  /// pool growth). Deterministic for a fixed seed, so it gates in CI the way
+  /// throughput does (lower is better).
+  std::size_t peak_resident_bytes = 0;
+  /// Per-subsystem byte attribution behind `bytes_per_agent`, filled by the
+  /// experiment harness at collection time.
+  MemoryBreakdown memory;
 };
 
 /// The mobile-agent platform: hosts agents on simulated nodes, migrates them,
@@ -86,9 +117,17 @@ struct PlatformStats {
 ///
 /// The message plane is allocation-free in steady state (DESIGN.md §10):
 /// payloads live inline in `util::PayloadBox`, inboxes are pooled
-/// `util::RingBuffer`s recycled across agent lifetimes, records and pending
-/// RPCs sit in open-addressing `util::FlatMap`s, and in-flight messages wait
-/// in a slot pool so delivery events capture 16 trivially-copyable bytes.
+/// `util::RingBuffer`s recycled across agent lifetimes, and in-flight
+/// messages wait in a slot pool so delivery events capture 16 trivially-
+/// copyable bytes.
+///
+/// Agent records live in generation-tagged slab storage (DESIGN.md §15): a
+/// dense array of hot `Slot`s (id, node mirror, generation, lifecycle flags,
+/// inbox ring header) parallel to a cold array of owning agent pointers,
+/// indexed by an open-addressing id → slot `util::FlatMap`. Scheduled events
+/// capture `{slot, generation}` — validity is one array probe, slots are
+/// recycled through a free list, and erasing an agent never moves another
+/// agent's record.
 class AgentSystem {
  public:
   struct Config {
@@ -108,6 +147,11 @@ class AgentSystem {
     /// Delay before re-sending a migration the fault plan swallowed
     /// (migration is modelled as reliable transport, e.g. TCP retries).
     sim::SimTime migration_retry = sim::SimTime::millis(5);
+
+    /// Pre-size the record slab and id index for this many agents (0 = grow
+    /// on demand). Million-agent runs set this so the install storm never
+    /// rehashes the index or reallocates the slab mid-run.
+    std::size_t reserve_agents = 0;
   };
 
   AgentSystem(sim::Simulator& simulator, net::Network& network);
@@ -206,7 +250,7 @@ class AgentSystem {
   /// Agent pointer for white-box assertions; nullptr if disposed.
   Agent* find(AgentId id) noexcept;
 
-  std::size_t live_agent_count() const noexcept { return records_.size(); }
+  std::size_t live_agent_count() const noexcept { return index_.size(); }
 
   /// Number of messages waiting in an agent's inbox (including the one in
   /// service).
@@ -217,25 +261,44 @@ class AgentSystem {
     return inbox_pool_.size();
   }
 
-  /// Estimate of the platform's resident heap footprint: record and RPC
-  /// table slots, live and pooled inbox rings, the in-flight message pool,
-  /// and the service registry. Counts capacities (what is allocated), not
-  /// sizes (what is momentarily occupied), because pooled capacity is what
-  /// the process actually holds at steady state.
+  /// Estimate of the platform's resident heap footprint: record slab and
+  /// RPC table slots, live and pooled inbox rings, the in-flight message
+  /// pool, and the service registry. Counts capacities (what is allocated),
+  /// not sizes (what is momentarily occupied), because pooled capacity is
+  /// what the process actually holds at steady state. O(1): the inbox and
+  /// service byte totals are tracked incrementally.
   std::size_t estimated_resident_bytes() const noexcept;
 
- private:
-  enum class State { kActive, kInTransit };
+  /// The same estimate, itemized by subsystem.
+  MemoryBreakdown memory_breakdown() const noexcept;
 
-  struct Record {
-    std::unique_ptr<Agent> agent;
+  /// Pre-size the record slab and id index for `agents` installs (also
+  /// reachable via `Config::reserve_agents`). Purely an allocation hint:
+  /// trajectories are identical with or without it.
+  void reserve(std::size_t agents);
+
+ private:
+  enum class State : std::uint8_t { kActive, kInTransit };
+
+  /// Hot per-agent record: everything the delivery and serve paths touch,
+  /// packed into one cache line, separate from the cold owning pointer in
+  /// `agents_`. A vacant slot has `id == kNoAgent` and waits on
+  /// `free_slots_`.
+  struct Slot {
+    AgentId id = kNoAgent;
+    /// Mirror of `Agent::node_` (the system is the only writer of both), so
+    /// residency checks never touch the cold agent object. `kNoNode` while
+    /// in transit.
+    net::NodeId node = net::kNoNode;
+    /// Bumped on migrate, dispose, and slot release so stale scheduled
+    /// events (which capture `{slot, generation}`) become no-ops — the slab
+    /// analogue of the event pool's generation tags.
+    std::uint32_t generation = 0;
     State state = State::kActive;
-    util::RingBuffer<Message> inbox;
     bool serving = false;
     /// Teardown in progress: reentrant dispose of the same id is a no-op.
     bool disposing = false;
-    /// Bumped on migrate/dispose so stale scheduled events become no-ops.
-    std::uint64_t epoch = 0;
+    util::RingBuffer<Message> inbox;
   };
 
   struct PendingRpc {
@@ -279,19 +342,29 @@ class AgentSystem {
   };
 
   static constexpr std::uint32_t kNoSlot = 0xffffffff;
+  static constexpr std::uint32_t kNoRecord = 0xffffffff;
   static constexpr std::size_t kMaxPooledInboxes = 256;
 
   void install(std::unique_ptr<Agent> owned, net::NodeId node);
   AgentId allocate_id();
 
-  void ship_migration(AgentId id, std::uint64_t epoch, net::NodeId source,
-                      net::NodeId destination, std::size_t bytes);
+  /// id → slot index, `kNoRecord` when the id is not installed.
+  std::uint32_t record_index(AgentId id) const noexcept;
+  Slot* find_record(AgentId id) noexcept;
+  const Slot* find_record(AgentId id) const noexcept;
+
+  std::uint32_t acquire_record_slot();
+  void release_record_slot(std::uint32_t slot) noexcept;
+
+  void ship_migration(std::uint32_t slot, std::uint32_t generation,
+                      net::NodeId source, net::NodeId destination,
+                      std::size_t bytes);
   void transmit(Message message, net::NodeId to_node);
   void on_delivery(std::uint32_t slot, net::NodeId node);
   void on_burst(std::uint32_t head, net::NodeId node);
   void deliver(net::NodeId node, Message message);
-  void enqueue(Record& record, Message&& message);
-  void serve_next(AgentId id, std::uint64_t epoch);
+  void enqueue(std::uint32_t slot, Message&& message);
+  void serve_next(std::uint32_t slot, std::uint32_t generation);
   void dispatch(Agent& agent, Message& message);
   void bounce(const Message& message);
   void complete_rpc(std::uint64_t correlation, RpcResult result);
@@ -302,9 +375,14 @@ class AgentSystem {
 
   util::RingBuffer<Message> acquire_inbox();
   void recycle_inbox(util::RingBuffer<Message>&& inbox);
-  void drain_inbox_bouncing(Record& record);
+  void drain_inbox_bouncing(Slot& record);
 
   void unregister_agent_services(net::NodeId node, AgentId id);
+
+  /// Record a new resident-bytes high-water mark. Called at allocation
+  /// growth points only, which is where the (capacity-counting) estimate can
+  /// actually move up.
+  void note_memory_high_water() noexcept;
 
   sim::Simulator& simulator_;
   net::Network& network_;
@@ -314,12 +392,24 @@ class AgentSystem {
   std::uint64_t id_counter_ = 0;
   std::uint64_t correlation_counter_ = 0;
 
-  util::FlatMap<AgentId, Record, kNoAgent> records_;
-  /// Bumped whenever `records_` gains or loses an entry (the only
-  /// operations that move its slots); lets the serve loop skip the
-  /// post-dispatch re-find when nothing changed.
-  std::uint64_t records_version_ = 0;
+  /// Agent records, slab style: `index_` maps the (uniformly mixed, public)
+  /// id to a dense slot; `slots_` holds the hot fields; `agents_` the cold
+  /// owning pointers, parallel to `slots_`. Vacant slots are recycled via
+  /// `free_slots_`. `slots_` only ever grows (push_back may reallocate, so
+  /// never hold a `Slot&` across agent callbacks — re-index instead; erasure
+  /// never moves records).
+  util::FlatMap<AgentId, std::uint32_t, kNoAgent> index_;
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<std::uint32_t> free_slots_;
+
   util::FlatMap<std::uint64_t, PendingRpc, 0> pending_rpcs_;
+
+  /// Incrementally tracked byte totals, so `estimated_resident_bytes` is
+  /// O(1) and cheap enough to sample at every growth point.
+  std::size_t live_inbox_bytes_ = 0;
+  std::size_t pooled_inbox_bytes_ = 0;
+  std::size_t service_bytes_ = 0;
 
   /// Interned service names; index in this vector IS the `ServiceKey`.
   std::vector<std::string> service_names_;

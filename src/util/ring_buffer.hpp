@@ -79,7 +79,12 @@ class RingBuffer {
   }
 
  private:
-  static constexpr std::size_t kMinCapacity = 8;
+  /// First slab is deliberately tiny: most agent inboxes hold one or two
+  /// messages at a time, and at million-agent populations the initial inbox
+  /// slab is the dominant per-agent memory term (8 slots of ~136-byte
+  /// `Message` cost ~1.1 KiB per agent; 2 slots cost a quarter of that).
+  /// Busy inboxes still double their way up and keep the larger slab.
+  static constexpr std::size_t kMinCapacity = 2;
 
   std::size_t mask() const noexcept { return slots_.size() - 1; }
 

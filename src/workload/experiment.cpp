@@ -44,12 +44,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.lp_threads >= 1) return run_experiment_lp(config);
   util::Rng master(config.seed);
 
+  // Batch-first at scale (DESIGN.md §15): at or above the auto threshold,
+  // turn on update batching and pre-size every population-proportional
+  // table. Below it nothing changes, so small fixed-seed baselines stay
+  // bit-identical.
+  core::MechanismConfig mechanism = config.mechanism;
+  const bool at_scale = mechanism.batch_auto_threshold > 0 &&
+                        config.tagents >= mechanism.batch_auto_threshold;
+  if (at_scale) mechanism.update_batching = true;
+
   sim::Simulator simulator;
   // Pool-size hint: the peak number of *concurrent* pending events is set by
   // in-flight messages and per-agent timers, all proportional to the
   // population; pre-sizing keeps the steady-state sweep from regrowing the
-  // event pool or heap mid-run.
-  simulator.reserve(config.tagents * 16 + config.queriers * 16 +
+  // event pool or heap mid-run. (A hint only — ×4 covers the steady state
+  // without dominating setup memory at million-agent populations.)
+  simulator.reserve(config.tagents * 4 + config.queriers * 16 +
                     config.nodes * 8 + 256);
   net::Network network(simulator, config.nodes, net::make_default_lan_model(),
                        master.fork());
@@ -58,9 +68,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   platform::AgentSystem::Config platform_config;
   platform_config.service_time = config.service_time;
   platform_config.mixed_ids = config.mixed_ids;
+  if (at_scale) {
+    platform_config.reserve_agents =
+        config.tagents + config.queriers + config.nodes + 16;
+  }
   platform::AgentSystem system(simulator, network, platform_config);
 
-  auto scheme = make_scheme(config.scheme, system, config.mechanism);
+  auto scheme = make_scheme(config.scheme, system, mechanism);
+  if (at_scale) scheme->reserve(config.tagents);
 
   // The tracked population, spread round-robin across nodes.
   std::vector<TAgent*> tagents;
@@ -70,6 +85,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     TAgent::Config tconfig;
     tconfig.residence = config.residence;
     tconfig.exponential_residence = config.exponential_residence;
+    tconfig.start_stagger = config.start_stagger;
     tconfig.seed = master.next();
     auto& agent = system.create<TAgent>(
         static_cast<net::NodeId>(i % config.nodes), *scheme, tconfig);
@@ -131,8 +147,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.network_stats = network.stats();
   result.platform_stats = system.stats();
   if (system.live_agent_count() > 0) {
+    // Whole-mechanism footprint: platform records and inboxes plus the
+    // scheme-side tables the platform cannot see into.
     result.platform_stats.bytes_per_agent =
-        static_cast<double>(system.estimated_resident_bytes()) /
+        static_cast<double>(system.estimated_resident_bytes() +
+                            scheme->estimated_resident_bytes()) /
         static_cast<double>(system.live_agent_count());
   }
   result.sim_seconds = simulator.now().as_seconds();
@@ -217,6 +236,9 @@ void merge_replication(ExperimentResult& merged, const ExperimentResult& one) {
   merged.platform_stats.bytes_per_agent =
       std::max(merged.platform_stats.bytes_per_agent,
                one.platform_stats.bytes_per_agent);
+  merged.platform_stats.peak_resident_bytes =
+      std::max(merged.platform_stats.peak_resident_bytes,
+               one.platform_stats.peak_resident_bytes);
 
   merged.sim_seconds += one.sim_seconds;
   merged.events_executed += one.events_executed;

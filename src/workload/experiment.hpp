@@ -23,6 +23,12 @@ struct ExperimentConfig {
   sim::SimTime residence = sim::SimTime::millis(500);
   bool exponential_residence = true;
 
+  /// Admission spread for the tracked population: each TAgent registers
+  /// after a per-agent uniform delay in [0, start_stagger] rather than at
+  /// t = 0 (see TAgent::Config::start_stagger). Keep it well inside
+  /// `warmup` so measurement starts with the whole population registered.
+  sim::SimTime start_stagger = sim::SimTime::zero();
+
   std::size_t total_queries = 2000;
   std::size_t queriers = 4;
   sim::SimTime think = sim::SimTime::millis(100);

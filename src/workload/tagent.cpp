@@ -7,6 +7,17 @@ TAgent::TAgent(core::LocationScheme& scheme, const Config& config)
 
 void TAgent::on_start() {
   move_timer_ = std::make_unique<sim::Timeout>(system().simulator());
+  if (config_.start_stagger > sim::SimTime::zero()) {
+    // Admission spread: draw the delay from this agent's own stream so the
+    // schedule is fixed by (seed, id), not by population size.
+    const sim::SimTime delay = sim::SimTime::millis(
+        rng_.uniform(0.0, config_.start_stagger.as_millis()));
+    move_timer_->arm(delay, [this] {
+      scheme_.register_agent(*this, [this](bool ok) { registered_ = ok; });
+      if (config_.mobile) schedule_move();
+    });
+    return;
+  }
   scheme_.register_agent(*this, [this](bool ok) { registered_ = ok; });
   if (config_.mobile) schedule_move();
 }

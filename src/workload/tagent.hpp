@@ -30,6 +30,14 @@ class TAgent : public platform::Agent {
     /// Whether the agent starts moving immediately.
     bool mobile = true;
 
+    /// Admission spread: register (and start roaming) after a uniform
+    /// random delay in [0, start_stagger] instead of at creation time.
+    /// Zero (the default) keeps the everything-at-t0 burst. At million-agent
+    /// populations the harness staggers admission across the warmup so the
+    /// platform's RPC/in-flight/inbox tables size for steady state, not for
+    /// one synchronized registration spike no real deployment produces.
+    sim::SimTime start_stagger = sim::SimTime::zero();
+
     /// When non-empty, the agent roams only within these nodes (cluster
     /// mobility — used by the locality ablation). Must contain at least two
     /// nodes for movement to happen.

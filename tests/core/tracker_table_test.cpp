@@ -20,6 +20,41 @@ TEST(LocationTable, ApplyAndFind) {
   EXPECT_TRUE(table.contains(1));
 }
 
+TEST(LocationTable, MillionEntryGrowthReservedAndIncrementalAgree) {
+  // Million-agent capacity path (DESIGN.md §15): a reserved table and one
+  // growing through every rehash must answer identically, and the byte
+  // accounting must track the allocation.
+  constexpr std::uint64_t kEntries = 1'000'000;
+  LocationTable reserved;
+  reserved.reserve(kEntries);
+  const std::size_t reserved_bytes = reserved.resident_bytes();
+  EXPECT_GT(reserved_bytes, kEntries * sizeof(LocationEntry) / 2);
+
+  LocationTable incremental;
+  util::Rng rng(7);
+  for (std::uint64_t i = 1; i <= kEntries; ++i) {
+    const auto node = static_cast<net::NodeId>(rng.next_below(1024));
+    const LocationEntry entry{i, node, /*seq=*/1};
+    ASSERT_TRUE(reserved.apply(entry));
+    ASSERT_TRUE(incremental.apply(entry));
+  }
+  EXPECT_EQ(reserved.size(), kEntries);
+  EXPECT_EQ(incremental.size(), kEntries);
+  EXPECT_EQ(reserved.resident_bytes(), reserved_bytes);  // reserve held
+  EXPECT_GE(incremental.resident_bytes(), reserved_bytes);
+
+  // Spot-check across the id range: both tables, same node, stale updates
+  // still refused after every rehash.
+  for (std::uint64_t i = 1; i <= kEntries; i += 99991) {
+    const auto in_reserved = reserved.find(i);
+    const auto in_incremental = incremental.find(i);
+    ASSERT_TRUE(in_reserved.has_value());
+    ASSERT_TRUE(in_incremental.has_value());
+    EXPECT_EQ(in_reserved->node, in_incremental->node);
+    EXPECT_FALSE(incremental.apply(LocationEntry{i, 0, 1}));  // duplicate seq
+  }
+}
+
 TEST(LocationTable, StaleSequenceRejected) {
   LocationTable table;
   table.apply(LocationEntry{1, 5, 3});

@@ -329,5 +329,76 @@ TEST_F(AgentSystemTest, MessagesInFlightDuringMigrationBounce) {
   EXPECT_EQ(a.events.back(), "bounce");
 }
 
+TEST_F(AgentSystemTest, SlotReuseAfterDisposeKeepsIdentitiesDistinct) {
+  // Slab storage recycles the dense slot, never the AgentId: traffic for
+  // the old tenant must bounce, not reach whoever inherits the slot.
+  Probe& first = system_.create<Probe>(0);
+  const AgentId old_id = first.id();
+  sim_.run();
+  system_.dispose(old_id);
+  sim_.run();
+
+  Probe& second = system_.create<Probe>(0);  // reuses the freed slot
+  Probe& sender = system_.create<Probe>(1);
+  sim_.run();
+  ASSERT_NE(second.id(), old_id);
+  system_.send(sender.id(), AgentAddress{0, old_id}, TextPayload{"ghost"},
+               64);
+  sim_.run();
+  EXPECT_EQ(sender.events.back(), "bounce");
+  EXPECT_TRUE(std::find(second.events.begin(), second.events.end(),
+                        "msg:ghost") == second.events.end());
+
+  // The new tenant is fully live.
+  system_.send(sender.id(), AgentAddress{0, second.id()},
+               TextPayload{"real"}, 64);
+  sim_.run();
+  EXPECT_EQ(second.events.back(), "msg:real");
+}
+
+TEST_F(AgentSystemTest, MemoryBreakdownSumsToEstimateAndTracksPeak) {
+  const MemoryBreakdown before = system_.memory_breakdown();
+  EXPECT_EQ(before.total(), system_.estimated_resident_bytes());
+
+  std::vector<AgentId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(system_.create<Probe>(static_cast<net::NodeId>(i % 4)).id());
+  }
+  sim_.run();
+  const MemoryBreakdown grown = system_.memory_breakdown();
+  EXPECT_EQ(grown.total(), system_.estimated_resident_bytes());
+  EXPECT_GT(grown.agent_records, before.agent_records);
+
+  // Inbox slabs are lazy: only a queued burst makes a ring allocate, and the
+  // pooled capacity survives the drain.
+  for (int i = 0; i < 8; ++i) {
+    system_.send(ids[1], AgentAddress{0, ids[0]}, TextPayload{"fill"}, 64);
+  }
+  sim_.run();
+  EXPECT_GT(system_.memory_breakdown().inboxes, before.inboxes);
+  // The high-water mark saw the growth and never reads below the present.
+  EXPECT_GE(system_.stats().peak_resident_bytes,
+            system_.memory_breakdown().total());
+
+  // Disposal releases records but the watermark holds.
+  const std::size_t peak = system_.stats().peak_resident_bytes;
+  for (const AgentId id : ids) system_.dispose(id);
+  sim_.run();
+  EXPECT_EQ(system_.stats().peak_resident_bytes, peak);
+  EXPECT_EQ(system_.live_agent_count(), 0u);
+}
+
+TEST_F(AgentSystemTest, ReserveHoldsCapacityThroughPopulation) {
+  system_.reserve(512);
+  const std::size_t reserved = system_.memory_breakdown().agent_records;
+  for (int i = 0; i < 500; ++i) {
+    system_.create<Probe>(static_cast<net::NodeId>(i % 4));
+  }
+  sim_.run();
+  // No record-storage regrowth: the reserve covered the whole population.
+  EXPECT_EQ(system_.memory_breakdown().agent_records, reserved);
+  EXPECT_EQ(system_.live_agent_count(), 500u);
+}
+
 }  // namespace
 }  // namespace agentloc::platform

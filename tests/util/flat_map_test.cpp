@@ -186,6 +186,57 @@ TEST(FlatMap, ExtractIfFuzzAgainstUnorderedMap) {
   }
 }
 
+TEST(FlatMap, MillionKeyGrowthReservedAndIncrementalAgree) {
+  // Capacity-path coverage for the million-agent tables (DESIGN.md §15):
+  // one map pre-sized for the population, one growing through every rehash
+  // doubling. Same keys, same answers, and the reserved map must never
+  // rehash after its reserve.
+  constexpr std::uint64_t kKeys = 1'000'000;
+  Map reserved;
+  reserved.reserve(kKeys);
+  const std::size_t reserved_capacity = reserved.capacity();
+  ASSERT_GT(reserved_capacity, kKeys);
+
+  Map incremental;
+  util::Rng rng(2026);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(kKeys);
+  while (keys.size() < kKeys) {
+    const std::uint64_t key = rng.next();
+    if (key == 0) continue;  // the empty-slot marker
+    keys.push_back(key);
+    // Duplicate draws are vanishingly rare and harmless: emplace refuses
+    // them identically in both maps.
+    reserved.emplace(key, static_cast<int>(key & 0x7fffffff));
+    incremental.emplace(key, static_cast<int>(key & 0x7fffffff));
+  }
+  EXPECT_EQ(reserved.capacity(), reserved_capacity);  // reserve held
+  EXPECT_EQ(reserved.size(), incremental.size());
+
+  // Every key survived the incremental map's rehashes with its value.
+  for (const std::uint64_t key : keys) {
+    const int* grown = incremental.find(key);
+    ASSERT_NE(grown, nullptr) << "lost across rehash: " << key;
+    const int* flat = reserved.find(key);
+    ASSERT_NE(flat, nullptr);
+    ASSERT_EQ(*grown, *flat);
+  }
+
+  // Erase a deterministic quarter from both; survivors and absences agree.
+  std::size_t erased = 0;
+  for (std::size_t i = 0; i < keys.size(); i += 4) {
+    ASSERT_EQ(reserved.erase(keys[i]), incremental.erase(keys[i]));
+    ++erased;
+  }
+  EXPECT_EQ(reserved.size(), incremental.size());
+  for (std::size_t i = 0; i < keys.size(); i += 1013) {
+    const bool in_reserved = reserved.contains(keys[i]);
+    EXPECT_EQ(in_reserved, incremental.contains(keys[i]));
+    EXPECT_EQ(in_reserved, i % 4 != 0);
+  }
+  (void)erased;
+}
+
 TEST(FlatMap, CollectThenEraseMatchesForEachContract) {
   // The documented erase-while-iterating pattern: collect keys during
   // for_each, erase afterwards (the callback itself must not mutate).

@@ -151,6 +151,97 @@ TEST(ExperimentRunner, RunRepeatedMatchesExplicitSequential) {
   EXPECT_EQ(repeated.queries_found, sequential.queries_found);
 }
 
+// --- Batch-first at scale (DESIGN.md §15) ---------------------------------
+// Above `batch_auto_threshold` the harness turns update batching on and
+// pre-sizes every table. The auto path must be bit-identical to asking for
+// batching explicitly, and semantically equivalent to the legacy unbatched
+// path (same answers, no wrong locations) — reserves and batching change
+// footprint and message count, never meaning.
+
+ExperimentConfig scale_cell(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.scheme = "hash";
+  config.nodes = 8;
+  config.tagents = 96;
+  config.total_queries = 120;
+  config.queriers = 4;
+  config.residence = sim::SimTime::millis(300);
+  config.warmup = sim::SimTime::seconds(5);
+  config.think = sim::SimTime::millis(15);
+  config.seed = seed;
+  return config;
+}
+
+TEST(BatchFirstAtScale, AutoThresholdMatchesExplicitBatchingBitwise) {
+  // Auto arm: population at the (lowered) threshold, nothing else set.
+  ExperimentConfig auto_arm = scale_cell(29);
+  auto_arm.mechanism.batch_auto_threshold = 96;
+
+  // Explicit arm: auto-scaling disabled, batching requested by hand — the
+  // pre-tentpole opt-in spelling. Reserves only change allocation, so the
+  // trajectories must agree bit for bit.
+  ExperimentConfig explicit_arm = scale_cell(29);
+  explicit_arm.mechanism.batch_auto_threshold = 0;
+  explicit_arm.mechanism.update_batching = true;
+
+  const ExperimentResult by_threshold = run_experiment(auto_arm);
+  const ExperimentResult by_request = run_experiment(explicit_arm);
+  EXPECT_GT(by_threshold.platform_stats.batch_flushes, 0u);
+  EXPECT_EQ(by_threshold.location_ms.samples(),
+            by_request.location_ms.samples());
+  EXPECT_EQ(by_threshold.events_executed, by_request.events_executed);
+  EXPECT_EQ(by_threshold.queries_found, by_request.queries_found);
+  EXPECT_EQ(by_threshold.wrong_location, by_request.wrong_location);
+  EXPECT_EQ(by_threshold.network_stats.messages_sent,
+            by_request.network_stats.messages_sent);
+  EXPECT_EQ(by_threshold.platform_stats.batch_flushes,
+            by_request.platform_stats.batch_flushes);
+  EXPECT_EQ(by_threshold.platform_stats.messages_coalesced,
+            by_request.platform_stats.messages_coalesced);
+}
+
+TEST(BatchFirstAtScale, BatchedAndUnbatchedSemanticallyEquivalent) {
+  ExperimentConfig batched = scale_cell(31);
+  batched.mechanism.batch_auto_threshold = 96;
+
+  ExperimentConfig unbatched = scale_cell(31);
+  unbatched.mechanism.batch_auto_threshold = 0;
+
+  const ExperimentResult with_batching = run_experiment(batched);
+  const ExperimentResult legacy = run_experiment(unbatched);
+
+  // Batching coalesces wire messages; it must not change what locates find.
+  EXPECT_GT(with_batching.platform_stats.messages_coalesced, 0u);
+  EXPECT_EQ(legacy.platform_stats.batch_flushes, 0u);
+  EXPECT_EQ(with_batching.queries_found + with_batching.queries_failed,
+            legacy.queries_found + legacy.queries_failed);
+  EXPECT_EQ(with_batching.queries_found, legacy.queries_found);
+  // `wrong_location` counts retried stale hits — timing-dependent under this
+  // churn, so the arms may differ, but every query must still resolve.
+  EXPECT_EQ(with_batching.queries_failed, 0u);
+  EXPECT_EQ(legacy.queries_failed, 0u);
+  EXPECT_LT(with_batching.scheme_stats.updates,
+            legacy.scheme_stats.updates + 1);  // batching never adds updates
+  EXPECT_LE(with_batching.network_stats.messages_sent,
+            legacy.network_stats.messages_sent);
+}
+
+TEST(BatchFirstAtScale, BelowThresholdLeavesLegacyPathUntouched) {
+  // One agent below the threshold: the auto arm must be the legacy run,
+  // bit for bit — this is what keeps the committed baselines valid.
+  ExperimentConfig below = scale_cell(37);
+  below.mechanism.batch_auto_threshold = 97;
+  ExperimentConfig legacy = scale_cell(37);
+  legacy.mechanism.batch_auto_threshold = 0;
+
+  const ExperimentResult a = run_experiment(below);
+  const ExperimentResult b = run_experiment(legacy);
+  EXPECT_EQ(a.platform_stats.batch_flushes, 0u);
+  EXPECT_EQ(a.location_ms.samples(), b.location_ms.samples());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.network_stats.messages_sent, b.network_stats.messages_sent);
+}
+
 TEST(MakeScheme, ConstructsEachKind) {
   sim::Simulator simulator;
   net::Network network(simulator, 4, net::make_default_lan_model(),
