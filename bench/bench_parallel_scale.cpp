@@ -1,19 +1,30 @@
-// Parallel LP engine scaling sweep: the same fixed-seed experiment run at
+// Parallel engine scaling sweeps: the same fixed-seed experiment run at
 // increasing worker counts, reporting wall-clock events/second per thread
 // count plus the determinism cross-check (every thread count must produce a
-// bit-identical ExperimentResult — see DESIGN.md §13).
+// bit-identical ExperimentResult — see DESIGN.md §13 and §16).
 //
-// The headline row per thread count carries `items_per_second` (executed
-// simulator events per wall second), which is what the bench-regression
-// gate tracks. `speedup` is relative to the sequential LP driver
-// (threads=1) in the same process; on a single-core host it hovers near
-// 1.0 and the row's value is the honest record of that.
+// Two sweeps run back to back:
+//   * `lp_scale/...` — the message-level LP driver (`run_experiment_lp`),
+//     the toy protocol model from DESIGN.md §13;
+//   * `sharded_scale/...` — the paper-faithful platform stack sharded one
+//     node per LP (`run_experiment_sharded`, DESIGN.md §16): real
+//     AgentSystems, schemes, TAgents, queriers, and migrations, with every
+//     cross-node byte crossing shards as an ordered envelope.
+//
+// The headline rows carry `items_per_second` (executed simulator events per
+// wall second), which is what the bench-regression gate tracks. `speedup`
+// is relative to threads=1 of the same sweep in the same process; on a
+// single-core host it hovers near 1.0 and the row's value is the honest
+// record of that. The process exits nonzero on any determinism violation
+// in either sweep, so CI can gate on bit-for-bit identity directly.
 //
 // Flags: --threads-list=1,2,4,8 --nodes=64 --tagents=128 --queries=4000
 //        --residence-ms=500 --seed=1 --json-out=BENCH_parallel_scale.json
+//        --sharded-queries=2000 (query count for the sharded sweep)
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +33,7 @@
 #include "util/thread_pool.hpp"
 #include "workload/lp_experiment.hpp"
 #include "workload/report.hpp"
+#include "workload/sharded_experiment.hpp"
 
 using namespace agentloc;
 using workload::ExperimentConfig;
@@ -50,37 +62,14 @@ struct Fingerprint {
   bool operator==(const Fingerprint&) const = default;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::Flags flags(argc, argv);
-  const auto thread_counts = flags.get_int_list("threads-list", {1, 2, 4, 8});
-  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 64));
-  const auto tagents = static_cast<std::size_t>(flags.get_int("tagents", 128));
-  const auto queries =
-      static_cast<std::size_t>(flags.get_int("queries", 4000));
-  const double residence_ms = flags.get_double("residence-ms", 500.0);
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const std::string json_out =
-      flags.get_string("json-out", "BENCH_parallel_scale.json");
-
-  ExperimentConfig config;
-  config.nodes = nodes;
-  config.tagents = tagents;
-  config.total_queries = queries;
-  config.queriers = 8;
-  config.residence = sim::SimTime::millis(residence_ms);
-  config.warmup = sim::SimTime::seconds(10);
-  config.seed = seed;
-
-  std::printf(
-      "Parallel LP scaling: nodes=%zu tagents=%zu queries=%zu "
-      "(hardware threads: %zu)\n\n",
-      nodes, tagents, queries, util::ThreadPool::default_threads());
-
-  workload::Table table({"threads", "wall s", "events/s", "speedup",
-                         "windows", "cross msgs", "found", "mean ms"});
-  util::BenchReport report("parallel_scale");
+/// One determinism-checked scaling sweep over `thread_counts`, adding a
+/// table row and a JSON row per count. Returns false when any thread count
+/// diverged from the sweep's threads=1 reference.
+bool run_sweep(const char* row_prefix, workload::Table& table,
+               util::BenchReport& report, ExperimentConfig config,
+               const std::vector<std::int64_t>& thread_counts,
+               const std::function<ExperimentResult(const ExperimentConfig&)>&
+                   run) {
   double base_wall = 0.0;
   bool deterministic = true;
   Fingerprint reference;
@@ -90,7 +79,7 @@ int main(int argc, char** argv) {
     if (threads < 1) continue;
     config.lp_threads = static_cast<std::size_t>(threads);
     const auto start = std::chrono::steady_clock::now();
-    const ExperimentResult result = workload::run_experiment_lp(config);
+    const ExperimentResult result = run(config);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -101,15 +90,16 @@ int main(int argc, char** argv) {
     } else if (!(Fingerprint::of(result) == reference)) {
       deterministic = false;
       std::fprintf(stderr,
-                   "DETERMINISM VIOLATION at threads=%lld: results differ "
-                   "from the sequential LP driver\n",
-                   static_cast<long long>(threads));
+                   "DETERMINISM VIOLATION at %s threads=%lld: results differ "
+                   "from the sequential driver\n",
+                   row_prefix, static_cast<long long>(threads));
     }
     const double events_per_sec =
         wall > 0 ? static_cast<double>(result.events_executed) / wall : 0.0;
     const double speedup = wall > 0 ? base_wall / wall : 0.0;
 
-    table.add_row({std::to_string(threads), workload::fmt(wall, 2),
+    table.add_row({row_prefix, std::to_string(threads),
+                   workload::fmt(wall, 2),
                    workload::fmt_count(
                        static_cast<std::uint64_t>(events_per_sec)),
                    workload::fmt(speedup, 2),
@@ -118,7 +108,8 @@ int main(int argc, char** argv) {
                    workload::fmt_count(result.queries_found),
                    workload::fmt(result.location_ms.mean())});
     report.add_row()
-        .set("name", "lp_scale/threads=" + std::to_string(threads))
+        .set("name", std::string(row_prefix) + "/threads=" +
+                         std::to_string(threads))
         .set("threads", static_cast<std::uint64_t>(threads))
         .set("threads_effective",
              static_cast<std::uint64_t>(result.lp_threads_used))
@@ -132,7 +123,57 @@ int main(int argc, char** argv) {
         .add_summary("location_ms", result.location_ms);
     std::fflush(stdout);
   }
+  return deterministic;
+}
 
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto thread_counts = flags.get_int_list("threads-list", {1, 2, 4, 8});
+  const auto nodes = static_cast<std::size_t>(flags.get_int("nodes", 64));
+  const auto tagents = static_cast<std::size_t>(flags.get_int("tagents", 128));
+  const auto queries =
+      static_cast<std::size_t>(flags.get_int("queries", 4000));
+  const double residence_ms = flags.get_double("residence-ms", 500.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto sharded_queries =
+      static_cast<std::size_t>(flags.get_int("sharded-queries", 2000));
+  const std::string json_out =
+      flags.get_string("json-out", "BENCH_parallel_scale.json");
+
+  ExperimentConfig config;
+  config.nodes = nodes;
+  config.tagents = tagents;
+  config.total_queries = queries;
+  config.queriers = 8;
+  config.residence = sim::SimTime::millis(residence_ms);
+  config.warmup = sim::SimTime::seconds(10);
+  config.seed = seed;
+
+  std::printf(
+      "Parallel scaling: nodes=%zu tagents=%zu queries=%zu "
+      "(hardware threads: %zu)\n\n",
+      nodes, tagents, queries, util::ThreadPool::default_threads());
+
+  workload::Table table({"engine", "threads", "wall s", "events/s", "speedup",
+                         "windows", "cross msgs", "found", "mean ms"});
+  util::BenchReport report("parallel_scale");
+
+  const bool lp_deterministic =
+      run_sweep("lp_scale", table, report, config, thread_counts,
+                workload::run_experiment_lp);
+
+  // The paper-faithful sharded sweep: the full platform stack, one shard
+  // per node. Fewer queries by default — each event is a real platform
+  // message with service-time accounting, not a toy protocol step.
+  ExperimentConfig sharded_config = config;
+  sharded_config.total_queries = sharded_queries;
+  const bool sharded_deterministic =
+      run_sweep("sharded_scale", table, report, sharded_config, thread_counts,
+                workload::run_experiment_sharded);
+
+  const bool deterministic = lp_deterministic && sharded_deterministic;
   std::printf("%s\n", table.str().c_str());
   std::printf("determinism across thread counts: %s\n",
               deterministic ? "IDENTICAL (bit-for-bit)" : "VIOLATED");

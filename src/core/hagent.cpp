@@ -21,10 +21,14 @@ std::vector<platform::AgentAddress> HAgent::coordinator_list() const {
   return list;
 }
 
+platform::AgentId HAgent::spawn_iagent(net::NodeId node) {
+  if (spawner_) return spawner_(node, config_, coordinator_list());
+  return system().create<IAgent>(node, config_, coordinator_list()).id();
+}
+
 platform::AgentId HAgent::bootstrap(net::NodeId first_node) {
-  IAgent& first =
-      system().create<IAgent>(first_node, config_, coordinator_list());
-  tree_.emplace(first.id(), first_node);
+  const platform::AgentId first = spawn_iagent(first_node);
+  tree_.emplace(first, first_node);
 
   // Optional capacity pre-split (DESIGN.md §15): grow the tree to
   // `initial_iagents` leaves (rounded up to a power of two) before any
@@ -35,9 +39,7 @@ platform::AgentId HAgent::bootstrap(net::NodeId first_node) {
   while (config_.initial_iagents > tree_->leaf_count()) {
     for (const hashtree::IAgentId victim : tree_->leaves()) {
       const net::NodeId node = place_new_iagent();
-      IAgent& fresh =
-          system().create<IAgent>(node, config_, coordinator_list());
-      tree_->simple_split(victim, 1, fresh.id(), node);
+      tree_->simple_split(victim, 1, spawn_iagent(node), node);
     }
   }
 
@@ -49,7 +51,7 @@ platform::AgentId HAgent::bootstrap(net::NodeId first_node) {
     grant.predicate = predicate_of(*tree_, leaf);
     send_grant(leaf, grant);
   }
-  return first.id();
+  return first;
 }
 
 void HAgent::on_message(const platform::Message& message) {
@@ -250,34 +252,35 @@ void HAgent::handle_split(const platform::Message& message,
   const SplitPlan plan =
       plan_split(*tree_, victim, request.loads, config_);
 
-  // Create the new IAgent, apply the split to the primary copy, then ship
-  // new responsibilities to every leaf whose predicate changed.
+  // Create the new IAgent (on whichever shard owns its node), apply the
+  // split to the primary copy, then ship new responsibilities to every leaf
+  // whose predicate changed. The spawner returns the minted id immediately;
+  // a cross-shard install envelope lands before any grant below.
   const net::NodeId new_node = place_new_iagent();
-  IAgent& fresh =
-      system().create<IAgent>(new_node, config_, coordinator_list());
+  const platform::AgentId fresh_id = spawn_iagent(new_node);
 
   const auto before = predicate_snapshot();
   hashtree::TreeOp op;
   op.victim = victim;
-  op.new_iagent = fresh.id();
+  op.new_iagent = fresh_id;
   op.location = new_node;
   if (plan.complex_point) {
     ++stats_.complex_splits;
     op.kind = hashtree::TreeOp::Kind::kComplexSplit;
     op.point = *plan.complex_point;
-    tree_->complex_split(victim, *plan.complex_point, fresh.id(), new_node);
+    tree_->complex_split(victim, *plan.complex_point, fresh_id, new_node);
   } else {
     ++stats_.simple_splits;
     op.kind = hashtree::TreeOp::Kind::kSimpleSplit;
     op.m = static_cast<std::uint32_t>(plan.simple_m);
-    tree_->simple_split(victim, plan.simple_m, fresh.id(), new_node);
+    tree_->simple_split(victim, plan.simple_m, fresh_id, new_node);
   }
   record_op(op);
 
-  const Predicate fresh_predicate = predicate_of(*tree_, fresh.id());
+  const Predicate fresh_predicate = predicate_of(*tree_, fresh_id);
   std::vector<hashtree::IAgentId> affected;
   for (const auto& [leaf, predicate] : predicate_snapshot()) {
-    if (leaf == fresh.id()) continue;
+    if (leaf == fresh_id) continue;
     const auto old = before.find(leaf);
     if (old == before.end() || !(old->second.valid_bits ==
                                  predicate.valid_bits)) {
@@ -289,14 +292,14 @@ void HAgent::handle_split(const platform::Message& message,
   fresh_grant.version = tree_->version();
   fresh_grant.predicate = fresh_predicate;
   fresh_grant.expected_handoffs = static_cast<std::uint32_t>(affected.size());
-  send_grant(fresh.id(), fresh_grant);
+  send_grant(fresh_id, fresh_grant);
 
   for (const hashtree::IAgentId leaf : affected) {
     ResponsibilityUpdate grant;
     grant.version = tree_->version();
     grant.predicate = predicate_of(*tree_, leaf);
     grant.has_transfer = true;
-    grant.transfer_to = platform::AgentAddress{new_node, fresh.id()};
+    grant.transfer_to = platform::AgentAddress{new_node, fresh_id};
     grant.transfer_predicate = fresh_predicate;
     send_grant(leaf, grant);
   }
@@ -304,7 +307,7 @@ void HAgent::handle_split(const platform::Message& message,
   AGENTLOC_LOG(kInfo, "hagent")
       << (plan.complex_point ? "complex" : "simple") << " split of IAgent "
       << victim << " (rate " << request.rate << "/s) -> new IAgent "
-      << fresh.id() << " at node " << new_node << ", version "
+      << fresh_id << " at node " << new_node << ", version "
       << tree_->version();
 
   begin_rehash(affected.size() + 1);

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/message.hpp"
+#include "sim/time.hpp"
+
+namespace agentloc::platform {
+
+class Agent;
+
+/// Host-side routing surface of a sharded deployment (DESIGN.md §16).
+///
+/// A sharded run partitions the simulated nodes across logical processes:
+/// each shard owns one `AgentSystem` (agent records, inboxes, RPC table,
+/// service registry) plus the scheme state resident on its node set, under a
+/// single-writer discipline — only the owning LP's execution context ever
+/// touches them. The platform stays ignorant of the LP engine; whenever a
+/// transmit or migration targets a node another shard owns, the system hands
+/// the envelope to this interface and the host (the experiment driver)
+/// forwards it over `sim::ParallelSimulator::post`, whose (time, src-LP,
+/// send-seq) key makes cross-shard arrival order deterministic for every
+/// worker-thread count.
+///
+/// All methods are invoked from the calling shard's execution context with
+/// `when >= now + lookahead` (every cross-node latency is at least the
+/// model's floor), which is exactly the engine's posting contract.
+class ShardHost {
+ public:
+  virtual ~ShardHost() = default;
+
+  /// The shard (logical process) owning `node`.
+  virtual std::uint32_t shard_of(net::NodeId node) const noexcept = 0;
+
+  /// Deliver `message` to `to_node` on its owning shard at absolute time
+  /// `when` (the destination system's `deliver_remote`).
+  virtual void post_message(std::uint32_t from_shard, net::NodeId to_node,
+                            sim::SimTime when, Message message) = 0;
+
+  /// Ship a migrating agent object to the shard owning `to_node`, arriving
+  /// at absolute time `when`. The host must, on the destination LP at
+  /// `when`: `adopt_migrated` the agent, rebind/import any scheme-side
+  /// client state, then `notify_arrival` — in that order, so `on_arrival`
+  /// runs against fully transferred state.
+  virtual void post_migration(std::uint32_t from_shard,
+                              std::unique_ptr<Agent> agent, AgentId id,
+                              net::NodeId from_node, net::NodeId to_node,
+                              sim::SimTime when) = 0;
+};
+
+}  // namespace agentloc::platform

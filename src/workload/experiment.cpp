@@ -13,8 +13,8 @@
 #include "sim/timer.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
-#include "workload/lp_experiment.hpp"
 #include "workload/querier.hpp"
+#include "workload/sharded_experiment.hpp"
 #include "workload/tagent.hpp"
 
 namespace agentloc::workload {
@@ -41,7 +41,7 @@ std::unique_ptr<core::LocationScheme> make_scheme(
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  if (config.lp_threads >= 1) return run_experiment_lp(config);
+  if (config.lp_threads >= 1) return run_experiment_sharded(config);
   util::Rng master(config.seed);
 
   // Batch-first at scale (DESIGN.md §15): at or above the auto threshold,

@@ -44,16 +44,19 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
 
   /// Engine selection. 0 (the default) runs the single-simulator engine —
-  /// every existing baseline and test is untouched. >= 1 runs the
-  /// node-partitioned parallel LP engine (`run_experiment_lp`) with that
-  /// many worker threads; 1 is the sequential LP driver, and any higher
-  /// count produces bit-identical results (the LP determinism contract).
-  /// The LP engine falls back to one thread when the latency model cannot
-  /// promise a positive cross-node floor (zero lookahead).
+  /// every existing baseline and test is untouched. >= 1 shards the full
+  /// platform stack across the parallel LP engine
+  /// (`run_experiment_sharded`, DESIGN.md §16) with that many worker
+  /// threads; 1 is the sequential sharded driver, and any higher count
+  /// produces bit-identical results (the LP determinism contract). The
+  /// engine falls back to one thread when the latency model cannot promise
+  /// a positive cross-node floor (zero lookahead). The message-level toy
+  /// driver (`run_experiment_lp`) remains directly callable.
   std::size_t lp_threads = 0;
 
-  /// Location-tracker count for the LP engine (rounded up to a power of
-  /// two; 0 = one per node). Ignored by the single-simulator engine.
+  /// Location-tracker count for the message-level LP driver
+  /// (`run_experiment_lp`; rounded up to a power of two; 0 = one per
+  /// node). Ignored by the other engines.
   std::size_t lp_trackers = 0;
 
   /// Per-message CPU time at every agent, calibrated to Aglets-era Java

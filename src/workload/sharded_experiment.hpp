@@ -1,0 +1,31 @@
+#pragma once
+
+#include "workload/experiment.hpp"
+
+namespace agentloc::workload {
+
+/// Run one paper-faithful experiment with the platform sharded across the
+/// parallel LP engine (`sim::ParallelSimulator`, DESIGN.md §16). Selected by
+/// `run_experiment` when `ExperimentConfig::lp_threads >= 1`.
+///
+/// Unlike the message-level LP driver (`run_experiment_lp`), this path runs
+/// the real stack — `platform::AgentSystem`, the location schemes, TAgents
+/// and queriers — partitioned one shard per node: each shard owns a private
+/// simulator, network stream, agent system, and scheme instance, and every
+/// cross-node transmit, RPC reply, and migration handoff crosses shards as
+/// an engine envelope ordered by the deterministic (time, src LP, send seq)
+/// key.
+///
+/// Determinism contract: for a fixed config and seed the returned
+/// `ExperimentResult` is bit-for-bit identical for every `lp_threads >= 1`.
+/// Results are *not* bitwise comparable against the `lp_threads == 0`
+/// engine: the legacy stack draws all network randomness from one global
+/// stream in global event order, which sharding necessarily splits into
+/// per-shard streams (DESIGN.md §16 spells out the contract).
+///
+/// Host hooks (`sampler`, `on_finish`, `trace_csv_path`) and fault
+/// injection (`drop_probability`) are not supported here and throw
+/// `std::invalid_argument`.
+ExperimentResult run_experiment_sharded(const ExperimentConfig& config);
+
+}  // namespace agentloc::workload

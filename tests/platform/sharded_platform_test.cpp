@@ -1,0 +1,269 @@
+// Sharded-platform plumbing (DESIGN.md §16): two AgentSystems attached to a
+// ParallelSimulator through a ShardHost, exercising the cross-shard message
+// path, RPC bounce semantics, and the migration handoff protocol
+// (extract → ship → adopt → notify). Suite names carry "Parallel" so the
+// tsan CI preset runs them under ThreadSanitizer.
+
+#include "platform/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "platform/agent_system.hpp"
+#include "sim/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace agentloc::platform {
+namespace {
+
+struct Ping {
+  int value = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+struct Pong {
+  int value = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+struct Note {
+  int value = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// Identity node → shard map over a ParallelSimulator, mirroring the
+/// experiment driver's host (one shard per node).
+class TestShardHost final : public ShardHost {
+ public:
+  TestShardHost(sim::ParallelSimulator& engine,
+                std::vector<std::unique_ptr<AgentSystem>>& systems)
+      : engine_(engine), systems_(systems) {}
+
+  std::uint32_t shard_of(net::NodeId node) const noexcept override {
+    return node;
+  }
+
+  void post_message(std::uint32_t from_shard, net::NodeId to_node,
+                    sim::SimTime when, Message message) override {
+    engine_.post(from_shard, to_node, when,
+                 [system = systems_[to_node].get(), to_node,
+                  message = std::move(message)]() mutable {
+                   system->deliver_remote(to_node, std::move(message));
+                 });
+  }
+
+  void post_migration(std::uint32_t from_shard, std::unique_ptr<Agent> agent,
+                      AgentId id, net::NodeId from_node, net::NodeId to_node,
+                      sim::SimTime when) override {
+    engine_.post(from_shard, to_node, when,
+                 [this, agent = std::move(agent), id, from_node,
+                  to_node]() mutable {
+                   systems_[to_node]->adopt_migrated(std::move(agent), id,
+                                                     to_node);
+                   systems_[to_node]->notify_arrival(id, from_node);
+                 });
+  }
+
+ private:
+  sim::ParallelSimulator& engine_;
+  std::vector<std::unique_ptr<AgentSystem>>& systems_;
+};
+
+/// Two-node, two-shard fixture: each node gets its own simulator, network
+/// stream, and agent system, glued by a TestShardHost.
+class ShardedClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto latency = net::make_default_lan_model();
+    sim::ParallelSimulator::Config config;
+    config.lps = 2;
+    config.threads = 1;
+    config.lookahead = latency->min_latency();
+    engine_ = std::make_unique<sim::ParallelSimulator>(config);
+
+    util::Rng master(42);
+    for (std::size_t s = 0; s < 2; ++s) {
+      networks_.push_back(std::make_unique<net::Network>(
+          engine_->lp(static_cast<sim::ParallelSimulator::LpId>(s)), 2,
+          net::make_default_lan_model(), master.fork()));
+      AgentSystem::Config system_config;
+      system_config.mixed_ids = false;
+      system_config.id_stride = 2;
+      system_config.id_salt = s;
+      systems_.push_back(std::make_unique<AgentSystem>(
+          engine_->lp(static_cast<sim::ParallelSimulator::LpId>(s)),
+          *networks_.back(), system_config));
+    }
+    host_ = std::make_unique<TestShardHost>(*engine_, systems_);
+    for (std::size_t s = 0; s < 2; ++s) {
+      systems_[s]->attach_shard_host(*host_, static_cast<std::uint32_t>(s));
+    }
+  }
+
+  std::unique_ptr<sim::ParallelSimulator> engine_;
+  std::vector<std::unique_ptr<net::Network>> networks_;
+  std::vector<std::unique_ptr<AgentSystem>> systems_;
+  std::unique_ptr<TestShardHost> host_;
+};
+
+class Responder : public Agent {
+ public:
+  void on_message(const Message& message) override {
+    ++received;
+    if (const auto* ping = message.body_as<Ping>()) {
+      last_value = ping->value;
+      if (message.correlation != 0) {
+        system().reply(message, id(), Pong{ping->value + 1}, Pong::kWireBytes);
+      }
+    } else if (const auto* note = message.body_as<Note>()) {
+      last_value = note->value;
+    }
+  }
+
+  void on_arrival(net::NodeId from_node) override { arrived_from = from_node; }
+  void on_shard_transfer() override { ++shard_transfers; }
+
+  int received = 0;
+  int last_value = -1;
+  int shard_transfers = 0;
+  net::NodeId arrived_from = net::kNoNode;
+};
+
+class Caller : public Agent {
+ public:
+  void call(const AgentAddress& to, int value) {
+    system().request(
+        id(), to, Ping{value}, Ping::kWireBytes,
+        [this](RpcResult result) {
+          last_status = result.status;
+          if (const auto* pong = result.reply.body_as<Pong>()) {
+            last_reply = pong->value;
+          }
+          ++completions;
+        },
+        sim::SimTime::seconds(1));
+  }
+
+  int completions = 0;
+  int last_reply = -1;
+  RpcResult::Status last_status = RpcResult::Status::kTimeout;
+};
+
+TEST_F(ShardedClusterTest, ParallelCrossShardRpcRoundTrips) {
+  Responder& responder = systems_[1]->create<Responder>(1);
+  Caller& caller = systems_[0]->create<Caller>(0);
+  const AgentAddress responder_address{1, responder.id()};
+
+  engine_->lp(0).schedule_after(sim::SimTime::millis(10),
+                                [&] { caller.call(responder_address, 7); });
+  engine_->run_until(sim::SimTime::seconds(2));
+
+  EXPECT_EQ(responder.received, 1);
+  EXPECT_EQ(responder.last_value, 7);
+  EXPECT_EQ(caller.completions, 1);
+  EXPECT_EQ(caller.last_status, RpcResult::Status::kOk);
+  EXPECT_EQ(caller.last_reply, 8);
+  EXPECT_GT(engine_->cross_lp_messages(), 0u)
+      << "request and reply must both cross the shard boundary";
+}
+
+TEST_F(ShardedClusterTest, ParallelMigrationHandoffMidRpcBouncesAndRecovers) {
+  Responder& responder = systems_[1]->create<Responder>(1);
+  Caller& caller = systems_[0]->create<Caller>(0);
+  const AgentId responder_id = responder.id();
+
+  // The request leaves node 0 at t=10ms; the responder departs node 1 at
+  // t=10.05ms, before the request can arrive (cross-node latency is at
+  // least the model's ~hundreds-of-microseconds floor). The in-flight
+  // request must bounce as a delivery failure, not vanish.
+  engine_->lp(0).schedule_after(
+      sim::SimTime::millis(10),
+      [&] { caller.call(AgentAddress{1, responder_id}, 3); });
+  engine_->lp(1).schedule_after(sim::SimTime::micros(10050), [&] {
+    systems_[1]->migrate(responder_id, 0);
+  });
+  // After the dust settles, a fresh message to the responder's new home on
+  // shard 0 must be delivered locally.
+  engine_->lp(0).schedule_after(sim::SimTime::seconds(1), [&] {
+    systems_[0]->send(caller.id(), AgentAddress{0, responder_id}, Note{99},
+                      Note::kWireBytes);
+  });
+  engine_->run_until(sim::SimTime::seconds(2));
+
+  EXPECT_EQ(caller.completions, 1);
+  EXPECT_EQ(caller.last_status, RpcResult::Status::kDeliveryFailure)
+      << "the in-flight request raced the handoff and must bounce";
+  // The handoff itself completed: shard 1 shipped the object, shard 0 owns
+  // it, lifecycle hooks ran in order.
+  EXPECT_FALSE(systems_[1]->exists(responder_id));
+  ASSERT_TRUE(systems_[0]->exists(responder_id));
+  EXPECT_EQ(systems_[0]->node_of(responder_id), net::NodeId{0});
+  Responder* moved =
+      dynamic_cast<Responder*>(systems_[0]->find(responder_id));
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->shard_transfers, 1);
+  EXPECT_EQ(moved->arrived_from, net::NodeId{1});
+  EXPECT_EQ(moved->last_value, 99) << "post-arrival delivery on the new shard";
+  EXPECT_EQ(systems_[0]->stats().migrations_completed, 1u)
+      << "the adopting shard counts the completion";
+  EXPECT_EQ(systems_[1]->stats().migrations_started, 1u);
+}
+
+TEST_F(ShardedClusterTest, ParallelDepartingCallerFailsItsPendingRpcs) {
+  Responder& responder = systems_[1]->create<Responder>(1);
+  Caller& caller = systems_[0]->create<Caller>(0);
+  const AgentId caller_id = caller.id();
+
+  // The caller issues a cross-shard request and immediately departs its own
+  // shard. Its pending RPC cannot follow the object (the callback captures
+  // source-shard state), so it must fail synchronously at extraction.
+  engine_->lp(0).schedule_after(sim::SimTime::millis(10), [&] {
+    caller.call(AgentAddress{1, responder.id()}, 5);
+    systems_[0]->migrate(caller_id, 1);
+  });
+  engine_->run_until(sim::SimTime::seconds(2));
+
+  Caller* moved = dynamic_cast<Caller*>(systems_[1]->find(caller_id));
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->completions, 1);
+  EXPECT_EQ(moved->last_status, RpcResult::Status::kDeliveryFailure);
+  EXPECT_EQ(systems_[1]->node_of(caller_id), net::NodeId{1});
+}
+
+TEST_F(ShardedClusterTest, ParallelCrossShardIdsNeverCollide) {
+  // Stride/salt partitioning: ids minted by different shards come from
+  // disjoint residue classes, including ids minted for remote installs.
+  std::vector<AgentId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(systems_[0]->create<Responder>(0).id());
+    ids.push_back(systems_[1]->create<Responder>(1).id());
+    ids.push_back(systems_[0]->mint_id());
+    ids.push_back(systems_[1]->mint_id());
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]);
+    }
+  }
+}
+
+TEST_F(ShardedClusterTest, ParallelMintedIdInstallsOnRemoteShard) {
+  // The cross-shard spawn protocol: shard 0 mints, shard 1 installs, and
+  // the agent is reachable at its node afterwards.
+  const AgentId id = systems_[0]->mint_id();
+  systems_[1]->install_spawned(std::make_unique<Responder>(), id, 1);
+  Caller& caller = systems_[0]->create<Caller>(0);
+
+  engine_->lp(0).schedule_after(sim::SimTime::millis(5),
+                                [&] { caller.call(AgentAddress{1, id}, 11); });
+  engine_->run_until(sim::SimTime::seconds(1));
+
+  EXPECT_EQ(caller.completions, 1);
+  EXPECT_EQ(caller.last_status, RpcResult::Status::kOk);
+  EXPECT_EQ(caller.last_reply, 12);
+}
+
+}  // namespace
+}  // namespace agentloc::platform

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "workload/experiment.hpp"
+#include "workload/sharded_experiment.hpp"
 
 namespace agentloc::workload {
 namespace {
@@ -98,12 +99,12 @@ TEST(ParallelLpExperimentTest, BitIdenticalOnExperiment2StyleSweep) {
 }
 
 TEST(ParallelLpExperimentTest, RunExperimentDispatchesOnLpThreads) {
-  // lp_threads >= 1 routes run_experiment into the LP engine; the result
-  // must match a direct run_experiment_lp call exactly.
+  // lp_threads >= 1 routes run_experiment onto the sharded platform engine;
+  // the result must match a direct run_experiment_sharded call exactly.
   ExperimentConfig config = small_config();
   config.total_queries = 80;
   config.lp_threads = 2;
-  const ExperimentResult direct = run_experiment_lp(config);
+  const ExperimentResult direct = run_experiment_sharded(config);
   const ExperimentResult dispatched = run_experiment(config);
   expect_identical(direct, dispatched, 2);
   EXPECT_EQ(dispatched.lp_threads_used, 2u);
