@@ -15,8 +15,10 @@
 
 #include "bench_json.hpp"
 #include "core/protocol.hpp"
+#include "net/frame.hpp"
 #include "net/latency.hpp"
 #include "net/network.hpp"
+#include "util/buffer_pool.hpp"
 #include "platform/agent_system.hpp"
 #include "sim/simulator.hpp"
 #include "util/bench_report.hpp"
@@ -151,6 +153,64 @@ void BM_ServiceLookup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ServiceLookup);
+
+void BM_FrameEncode(benchmark::State& state) {
+  // The wire layer's sender path (DESIGN.md §17): header + UpdateRequest
+  // payload encoded straight into pooled 16 KiB batch buffers, length slot
+  // patched in place. Items = frames.
+  constexpr std::size_t kBatchCap = 16u << 10;
+  util::BufferPool pool;
+  util::ByteWriter writer(pool.acquire(kBatchCap));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const net::OpenFrame open =
+        net::begin_frame(writer, net::FrameType::kUpdate, i & 0xff);
+    writer.write_varint(util::mix64(i));
+    writer.write_varint(i % 97);
+    writer.write_varint(i);
+    net::end_frame(writer, open);
+    ++i;
+    if (writer.size() >= kBatchCap) {
+      pool.release(std::move(writer).take());
+      writer = util::ByteWriter(pool.acquire(kBatchCap));
+    }
+  }
+  benchmark::DoNotOptimize(writer.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_FrameDecode(benchmark::State& state) {
+  // The receiver path: a pre-encoded batch replayed through a FrameDecoder
+  // (views into the rolling pooled buffer, no payload copies).
+  constexpr std::size_t kBatchCap = 16u << 10;
+  util::BufferPool pool;
+  util::ByteWriter writer(pool.acquire(kBatchCap));
+  std::uint64_t encoded = 0;
+  while (writer.size() < kBatchCap) {
+    const net::OpenFrame open =
+        net::begin_frame(writer, net::FrameType::kUpdate, encoded & 0xff);
+    writer.write_varint(util::mix64(encoded));
+    writer.write_varint(encoded % 97);
+    writer.write_varint(encoded);
+    net::end_frame(writer, open);
+    ++encoded;
+  }
+  const std::vector<std::uint8_t> stream = std::move(writer).take();
+
+  net::FrameDecoder decoder(pool);
+  net::FrameView view;
+  std::uint64_t frames = 0;
+  while (state.KeepRunningBatch(static_cast<std::int64_t>(encoded))) {
+    decoder.feed(stream.data(), stream.size());
+    while (decoder.next(view) == net::FrameDecoder::Status::kFrame) {
+      ++frames;
+    }
+  }
+  benchmark::DoNotOptimize(frames);
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_FrameDecode);
 
 }  // namespace
 

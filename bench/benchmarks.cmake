@@ -38,3 +38,4 @@ agentloc_add_bench(bench_scale bench_scale.cpp agentloc_workload)
 agentloc_add_bench(bench_overhead bench_overhead.cpp agentloc_workload)
 agentloc_add_bench(bench_failover bench_failover.cpp agentloc_workload)
 agentloc_add_bench(bench_watch bench_watch.cpp agentloc_workload)
+agentloc_add_bench(bench_transport bench_transport.cpp agentloc_net)

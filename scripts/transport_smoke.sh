@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Tier-1 UDS-loopback smoke for the socket transport (DESIGN.md §17):
+# start `agentlocd` on a unix socket, run `agentloc_loadgen` against it with
+# reply verification on, and fail on any mismatch or nonzero exit.
+#
+# Exit codes:
+#   0   server + loadgen round trip verified
+#   77  sandbox cannot create sockets (skip; automake/ctest convention)
+#   1   anything else
+#
+# Usage: scripts/transport_smoke.sh [BUILD_DIR]   (default: build)
+
+set -u
+
+BUILD_DIR="${1:-build}"
+AGENTLOCD="${BUILD_DIR}/examples/agentlocd"
+LOADGEN="${BUILD_DIR}/examples/agentloc_loadgen"
+SOCK="/tmp/agentloc-smoke-$$.sock"
+
+for bin in "${AGENTLOCD}" "${LOADGEN}"; do
+  if [ ! -x "${bin}" ]; then
+    echo "transport_smoke: missing binary ${bin} (build the examples first)" >&2
+    exit 1
+  fi
+done
+
+# Probe first: containers without AF_UNIX support skip, not fail.
+"${AGENTLOCD}" --probe
+probe_rc=$?
+if [ "${probe_rc}" -eq 77 ]; then
+  echo "transport_smoke: SKIP (sandbox cannot create sockets)"
+  exit 77
+elif [ "${probe_rc}" -ne 0 ]; then
+  echo "transport_smoke: probe failed with ${probe_rc}" >&2
+  exit 1
+fi
+
+cleanup() {
+  if [ -n "${server_pid:-}" ]; then
+    kill "${server_pid}" 2>/dev/null
+    wait "${server_pid}" 2>/dev/null
+  fi
+  rm -f "${SOCK}"
+}
+trap cleanup EXIT
+
+"${AGENTLOCD}" --listen "unix:${SOCK}" --partitions 8 --quiet &
+server_pid=$!
+
+# Wait for the socket to appear (the server binds before serving).
+for _ in $(seq 1 100); do
+  [ -S "${SOCK}" ] && break
+  if ! kill -0 "${server_pid}" 2>/dev/null; then
+    echo "transport_smoke: agentlocd exited before binding" >&2
+    exit 1
+  fi
+  sleep 0.02
+done
+if [ ! -S "${SOCK}" ]; then
+  echo "transport_smoke: ${SOCK} never appeared" >&2
+  exit 1
+fi
+
+"${LOADGEN}" --connect "unix:${SOCK}" --agents 500 --ops 5000 --verify true
+loadgen_rc=$?
+if [ "${loadgen_rc}" -ne 0 ]; then
+  echo "transport_smoke: loadgen FAILED (rc=${loadgen_rc})" >&2
+  exit 1
+fi
+
+echo "transport_smoke: OK"
+exit 0

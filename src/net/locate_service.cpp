@@ -1,0 +1,384 @@
+#include "net/locate_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace agentloc::net {
+namespace {
+
+/// Build a tree with `partitions` leaves by breadth-first simple splits:
+/// IAgent ids 1..P, so `iagent - 1` is the table index. Every leaf sits at
+/// location 0 — within one agentlocd process "location" is vestigial; the
+/// tree is used purely as the id → partition hash (paper §3).
+hashtree::HashTree make_partition_tree(std::size_t partitions) {
+  hashtree::HashTree tree(1, 0);
+  hashtree::IAgentId next = 2;
+  while (tree.leaf_count() < partitions) {
+    for (hashtree::IAgentId victim : tree.leaves()) {
+      if (tree.leaf_count() >= partitions) break;
+      tree.simple_split(victim, 1, next++, 0);
+    }
+  }
+  return tree;
+}
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LocateDirectory::LocateDirectory(std::size_t partitions)
+    : tree_(make_partition_tree(partitions == 0 ? 1 : partitions)),
+      tables_(tree_.leaf_count()) {}
+
+std::size_t LocateDirectory::partition_of(platform::AgentId agent) const {
+  const hashtree::HashTree::Target target = tree_.lookup_id(agent);
+  return static_cast<std::size_t>(target.iagent - 1);
+}
+
+bool LocateDirectory::apply_update(platform::AgentId agent, NodeId node,
+                                   std::uint64_t seq) {
+  if (agent == platform::kNoAgent) return false;
+  Binding& binding = tables_[partition_of(agent)][agent];
+  // Newest-seq-wins, exactly as the simulated IAgent tables: the network
+  // may reorder an agent's consecutive updates (they leave from different
+  // nodes), so an older seq must never roll the binding back.
+  if (binding.present || binding.seq != 0) {
+    if (seq <= binding.seq) return false;
+  }
+  binding.node = node;
+  binding.seq = seq;
+  binding.present = true;
+  return true;
+}
+
+bool LocateDirectory::deregister_agent(platform::AgentId agent,
+                                       std::uint64_t seq) {
+  if (agent == platform::kNoAgent) return false;
+  auto& table = tables_[partition_of(agent)];
+  Binding* binding = table.find(agent);
+  if (binding == nullptr) return false;
+  if (seq < binding->seq) return false;  // a newer update already landed
+  // Keep a tombstone carrying the seq so a reordered older update cannot
+  // resurrect the binding.
+  binding->present = false;
+  binding->seq = seq;
+  binding->node = kNoNode;
+  return true;
+}
+
+core::LocateReply LocateDirectory::locate(platform::AgentId agent) const {
+  core::LocateReply reply;
+  reply.version_hint = tree_.version();
+  if (agent == platform::kNoAgent) {
+    reply.status = core::LocateStatus::kUnknown;
+    return reply;
+  }
+  const Binding* binding = tables_[partition_of(agent)].find(agent);
+  if (binding == nullptr || !binding->present) {
+    reply.status = core::LocateStatus::kUnknown;
+    return reply;
+  }
+  reply.status = core::LocateStatus::kFound;
+  reply.node = binding->node;
+  reply.seq = binding->seq;
+  return reply;
+}
+
+std::size_t LocateDirectory::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& table : tables_) {
+    table.for_each([&](platform::AgentId, const Binding& binding) {
+      if (binding.present) ++total;
+    });
+  }
+  return total;
+}
+
+LocateService::LocateService(SocketTransport& transport,
+                             std::size_t partitions)
+    : transport_(transport), directory_(partitions) {
+  transport_.on_frame([this](SocketTransport::PeerId peer,
+                             const FrameView& frame) {
+    handle_frame(peer, frame);
+  });
+}
+
+void LocateService::send_error(SocketTransport::PeerId peer,
+                               std::uint64_t correlation,
+                               const std::string& message) {
+  ++counters_.protocol_errors;
+  transport_.send(peer, FrameType::kError, correlation,
+                  [&](util::ByteWriter& w) { w.write_string(message); });
+  transport_.flush(peer);
+}
+
+void LocateService::handle_frame(SocketTransport::PeerId peer,
+                                 const FrameView& frame) {
+  util::ByteReader reader = frame.payload_reader();
+  // Payload decode errors (truncated/garbled fields) answer kError instead
+  // of killing the server; the transport already rejected malformed frames.
+  try {
+    switch (frame.type) {
+      case FrameType::kHello: {
+        ++counters_.hellos;
+        const std::uint64_t version = reader.read_varint();
+        if (version != kLocateProtocolVersion) {
+          send_error(peer, frame.correlation, "protocol version mismatch");
+          return;
+        }
+        transport_.send(peer, FrameType::kHelloAck, frame.correlation,
+                        [&](util::ByteWriter& w) {
+                          w.write_varint(kLocateProtocolVersion);
+                          w.write_varint(directory_.partition_count());
+                          w.write_varint(directory_.tree_version());
+                        });
+        transport_.flush(peer);
+        return;
+      }
+      case FrameType::kUpdate: {
+        ++counters_.updates;
+        const platform::AgentId agent = reader.read_varint();
+        const NodeId node = static_cast<NodeId>(reader.read_varint());
+        const std::uint64_t seq = reader.read_varint();
+        const bool applied = directory_.apply_update(agent, node, seq);
+        if (applied) ++counters_.updates_applied;
+        if ((frame.flags & kFlagWantAck) != 0) {
+          transport_.send(peer, FrameType::kUpdateAck, frame.correlation,
+                          [&](util::ByteWriter& w) {
+                            w.write_bool(applied);
+                            w.write_varint(directory_.tree_version());
+                          });
+        }
+        return;
+      }
+      case FrameType::kLocate: {
+        ++counters_.locates;
+        const platform::AgentId agent = reader.read_varint();
+        const core::LocateReply reply = directory_.locate(agent);
+        if (reply.status == core::LocateStatus::kFound) {
+          ++counters_.locates_found;
+        }
+        transport_.send(peer, FrameType::kLocateReply, frame.correlation,
+                        [&](util::ByteWriter& w) {
+                          w.write_u8(static_cast<std::uint8_t>(reply.status));
+                          w.write_varint(reply.node);
+                          w.write_varint(reply.seq);
+                          w.write_varint(reply.version_hint);
+                        });
+        return;
+      }
+      case FrameType::kDeregister: {
+        ++counters_.deregisters;
+        const platform::AgentId agent = reader.read_varint();
+        const std::uint64_t seq = reader.read_varint();
+        const bool applied = directory_.deregister_agent(agent, seq);
+        if ((frame.flags & kFlagWantAck) != 0) {
+          transport_.send(peer, FrameType::kUpdateAck, frame.correlation,
+                          [&](util::ByteWriter& w) {
+                            w.write_bool(applied);
+                            w.write_varint(directory_.tree_version());
+                          });
+        }
+        return;
+      }
+      case FrameType::kPing: {
+        ++counters_.pings;
+        transport_.send(peer, FrameType::kPong, frame.correlation, nullptr);
+        transport_.flush(peer);
+        return;
+      }
+      default:
+        send_error(peer, frame.correlation, "unexpected frame type");
+        return;
+    }
+  } catch (const std::exception& error) {
+    send_error(peer, frame.correlation,
+               std::string("bad payload: ") + error.what());
+  }
+}
+
+LocateClient::LocateClient() : transport_(SocketTransport::Config{}) {
+  transport_.on_frame([this](SocketTransport::PeerId peer,
+                             const FrameView& frame) {
+    handle_frame(peer, frame);
+  });
+}
+
+bool LocateClient::connected() const noexcept {
+  return transport_.peer_open(server_);
+}
+
+void LocateClient::handle_frame(SocketTransport::PeerId,
+                                const FrameView& frame) {
+  if (frame.type == FrameType::kLocateReply &&
+      frame.correlation != sync_correlation_) {
+    // Pipelined locate reply.
+    try {
+      util::ByteReader reader = frame.payload_reader();
+      PipelinedReply entry;
+      entry.correlation = frame.correlation;
+      entry.reply.status =
+          static_cast<core::LocateStatus>(reader.read_u8());
+      entry.reply.node = static_cast<NodeId>(reader.read_varint());
+      entry.reply.seq = reader.read_varint();
+      entry.reply.version_hint = reader.read_varint();
+      pipelined_.push_back(entry);
+    } catch (const std::exception&) {
+      // drop the malformed reply; the waiter times out
+    }
+    return;
+  }
+  if (frame.correlation != sync_correlation_) return;
+  sync_waiter_.done = true;
+  sync_waiter_.type = frame.type;
+  try {
+    util::ByteReader reader = frame.payload_reader();
+    switch (frame.type) {
+      case FrameType::kHelloAck: {
+        const std::uint64_t version = reader.read_varint();
+        partitions_ = reader.read_varint();
+        sync_waiter_.ack_applied = version == kLocateProtocolVersion;
+        break;
+      }
+      case FrameType::kUpdateAck:
+        sync_waiter_.ack_applied = reader.read_bool();
+        break;
+      case FrameType::kLocateReply:
+        sync_waiter_.reply.status =
+            static_cast<core::LocateStatus>(reader.read_u8());
+        sync_waiter_.reply.node = static_cast<NodeId>(reader.read_varint());
+        sync_waiter_.reply.seq = reader.read_varint();
+        sync_waiter_.reply.version_hint = reader.read_varint();
+        break;
+      case FrameType::kPong:
+        break;
+      default:  // kError or unexpected
+        sync_waiter_.type = FrameType::kError;
+        break;
+    }
+  } catch (const std::exception&) {
+    sync_waiter_.type = FrameType::kError;
+  }
+}
+
+bool LocateClient::wait_for(std::uint64_t correlation, int timeout_ms) {
+  sync_correlation_ = correlation;
+  sync_waiter_ = Waiter{};
+  transport_.flush_all();
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  while (!sync_waiter_.done) {
+    if (!connected()) break;
+    const std::int64_t left = deadline - now_ms();
+    if (left <= 0) break;
+    transport_.poll_once(static_cast<int>(left));
+  }
+  sync_correlation_ = 0;
+  return sync_waiter_.done;
+}
+
+bool LocateClient::connect(const SocketAddress& address, std::string* error,
+                           int timeout_ms) {
+  server_ = transport_.connect(address, error);
+  if (server_ == SocketTransport::kInvalidPeer) return false;
+  const std::uint64_t correlation = next_correlation_++;
+  transport_.send(server_, FrameType::kHello, correlation,
+                  [](util::ByteWriter& w) {
+                    w.write_varint(kLocateProtocolVersion);
+                  });
+  if (!wait_for(correlation, timeout_ms) ||
+      sync_waiter_.type != FrameType::kHelloAck ||
+      !sync_waiter_.ack_applied) {
+    if (error) *error = "handshake failed";
+    transport_.close_peer(server_);
+    server_ = SocketTransport::kInvalidPeer;
+    return false;
+  }
+  return true;
+}
+
+bool LocateClient::send_update(platform::AgentId agent, NodeId node,
+                               std::uint64_t seq) {
+  return transport_.send(server_, FrameType::kUpdate, 0,
+                         [&](util::ByteWriter& w) {
+                           w.write_varint(agent);
+                           w.write_varint(node);
+                           w.write_varint(seq);
+                         });
+}
+
+std::optional<bool> LocateClient::update(platform::AgentId agent, NodeId node,
+                                         std::uint64_t seq, int timeout_ms) {
+  const std::uint64_t correlation = next_correlation_++;
+  if (!connected()) return std::nullopt;
+  transport_.send(
+      server_, FrameType::kUpdate, correlation,
+      [&](util::ByteWriter& w) {
+        w.write_varint(agent);
+        w.write_varint(node);
+        w.write_varint(seq);
+      },
+      kFlagWantAck);
+  if (!wait_for(correlation, timeout_ms) ||
+      sync_waiter_.type != FrameType::kUpdateAck) {
+    return std::nullopt;
+  }
+  return sync_waiter_.ack_applied;
+}
+
+std::optional<core::LocateReply> LocateClient::locate(platform::AgentId agent,
+                                                      int timeout_ms) {
+  if (!connected()) return std::nullopt;
+  const std::uint64_t correlation = next_correlation_++;
+  transport_.send(server_, FrameType::kLocate, correlation,
+                  [&](util::ByteWriter& w) { w.write_varint(agent); });
+  if (!wait_for(correlation, timeout_ms) ||
+      sync_waiter_.type != FrameType::kLocateReply) {
+    return std::nullopt;
+  }
+  return sync_waiter_.reply;
+}
+
+bool LocateClient::send_deregister(platform::AgentId agent,
+                                   std::uint64_t seq) {
+  return transport_.send(server_, FrameType::kDeregister, 0,
+                         [&](util::ByteWriter& w) {
+                           w.write_varint(agent);
+                           w.write_varint(seq);
+                         });
+}
+
+bool LocateClient::ping(int timeout_ms) {
+  if (!connected()) return false;
+  const std::uint64_t correlation = next_correlation_++;
+  transport_.send(server_, FrameType::kPing, correlation, nullptr);
+  return wait_for(correlation, timeout_ms) &&
+         sync_waiter_.type == FrameType::kPong;
+}
+
+void LocateClient::send_locate(platform::AgentId agent,
+                               std::uint64_t correlation) {
+  transport_.send(server_, FrameType::kLocate, correlation,
+                  [&](util::ByteWriter& w) { w.write_varint(agent); });
+}
+
+std::vector<LocateClient::PipelinedReply> LocateClient::drain(
+    std::size_t count, int timeout_ms) {
+  transport_.flush_all();
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  while (pipelined_.size() < count && connected()) {
+    const std::int64_t left = deadline - now_ms();
+    if (left <= 0) break;
+    transport_.poll_once(static_cast<int>(left));
+  }
+  std::vector<PipelinedReply> out = std::move(pipelined_);
+  pipelined_.clear();
+  return out;
+}
+
+void LocateClient::flush() { transport_.flush_all(); }
+
+}  // namespace agentloc::net

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "hashtree/tree.hpp"
+#include "net/socket_transport.hpp"
+#include "util/flat_map.hpp"
+
+namespace agentloc::net {
+
+/// Version carried in kHello/kHelloAck; bumped on incompatible changes.
+inline constexpr std::uint64_t kLocateProtocolVersion = 1;
+
+/// The authoritative location directory one `agentlocd` process serves: the
+/// paper's hash scheme answering real RPCs. Agent ids route through a
+/// `hashtree::HashTree` pre-split into `partitions` leaves (each leaf is an
+/// in-process IAgent shard with its own table), and bindings apply under the
+/// same newest-seq-wins rule as the simulated IAgents — a reordered older
+/// update or deregister can never clobber a newer binding.
+class LocateDirectory {
+ public:
+  explicit LocateDirectory(std::size_t partitions);
+
+  std::size_t partition_count() const noexcept { return tables_.size(); }
+  std::size_t partition_of(platform::AgentId agent) const;
+
+  /// Returns true when the entry was applied (no newer seq already held).
+  bool apply_update(platform::AgentId agent, NodeId node, std::uint64_t seq);
+
+  /// Remove the binding unless a strictly newer update already landed.
+  bool deregister_agent(platform::AgentId agent, std::uint64_t seq);
+
+  core::LocateReply locate(platform::AgentId agent) const;
+
+  std::size_t size() const noexcept;  ///< bindings across all partitions
+  std::uint64_t tree_version() const noexcept { return tree_.version(); }
+  const hashtree::HashTree& tree() const noexcept { return tree_; }
+
+ private:
+  struct Binding {
+    NodeId node = kNoNode;
+    std::uint64_t seq = 0;
+    bool present = false;  ///< false after deregister (seq tombstone)
+  };
+
+  hashtree::HashTree tree_;
+  std::vector<util::FlatMap<platform::AgentId, Binding, platform::kNoAgent>>
+      tables_;
+};
+
+/// Frame flag on kUpdate/kDeregister: the sender wants a kUpdateAck.
+inline constexpr std::uint8_t kFlagWantAck = 0x01;
+
+/// Server side of the locate protocol: plugs a `LocateDirectory` into a
+/// `SocketTransport`'s frame handler. One instance per `agentlocd` process.
+///
+/// Payload encodings (all varint unless noted; framing per frame.hpp):
+///   kHello       → protocol version
+///   kHelloAck    → protocol version, partition count, tree version
+///   kUpdate      → agent, node, seq            (flags bit0: want ack)
+///   kUpdateAck   → applied (bool), tree version
+///   kLocate      → agent
+///   kLocateReply → status (u8), node, seq, tree version
+///   kDeregister  → agent, seq                  (flags bit0: want ack)
+///   kPing/kPong  → empty (correlation echoed)
+///   kError       → string diagnostic
+class LocateService {
+ public:
+  struct Counters {
+    std::uint64_t hellos = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t updates_applied = 0;
+    std::uint64_t locates = 0;
+    std::uint64_t locates_found = 0;
+    std::uint64_t deregisters = 0;
+    std::uint64_t pings = 0;
+    std::uint64_t protocol_errors = 0;
+  };
+
+  /// Installs itself as `transport`'s frame handler. The transport must
+  /// outlive the service.
+  LocateService(SocketTransport& transport, std::size_t partitions);
+
+  LocateDirectory& directory() noexcept { return directory_; }
+  const LocateDirectory& directory() const noexcept { return directory_; }
+  const Counters& counters() const noexcept { return counters_; }
+
+  void handle_frame(SocketTransport::PeerId peer, const FrameView& frame);
+
+ private:
+  void send_error(SocketTransport::PeerId peer, std::uint64_t correlation,
+                  const std::string& message);
+
+  SocketTransport& transport_;
+  LocateDirectory directory_;
+  Counters counters_;
+};
+
+/// Client side: owns its transport, speaks the handshake, and offers both
+/// synchronous round-trips (connect-and-verify paths) and a pipelined
+/// fire-many/collect-many mode (the loadgen's throughput path).
+class LocateClient {
+ public:
+  LocateClient();
+
+  /// Connect + kHello/kHelloAck handshake. False + `error` on failure or
+  /// version mismatch.
+  bool connect(const SocketAddress& address, std::string* error,
+               int timeout_ms = 5000);
+
+  bool connected() const noexcept;
+  /// Partition count the server announced in its kHelloAck.
+  std::uint64_t server_partitions() const noexcept { return partitions_; }
+
+  /// One-way update (no ack requested); pipelined, flushed by `flush` or a
+  /// later sync call.
+  bool send_update(platform::AgentId agent, NodeId node, std::uint64_t seq);
+
+  /// Synchronous update: requests an ack and waits for it. Returns the
+  /// applied flag, or nullopt on timeout/disconnect.
+  std::optional<bool> update(platform::AgentId agent, NodeId node,
+                             std::uint64_t seq, int timeout_ms = 5000);
+
+  std::optional<core::LocateReply> locate(platform::AgentId agent,
+                                          int timeout_ms = 5000);
+
+  bool send_deregister(platform::AgentId agent, std::uint64_t seq);
+
+  bool ping(int timeout_ms = 5000);
+
+  /// Pipelined locate: send without waiting. Replies are collected by
+  /// `drain` in arrival order.
+  void send_locate(platform::AgentId agent, std::uint64_t correlation);
+
+  struct PipelinedReply {
+    std::uint64_t correlation = 0;
+    core::LocateReply reply;
+  };
+
+  /// Flush pending frames and run the event loop until `count` pipelined
+  /// locate replies arrived or `timeout_ms` elapsed. Returns the replies.
+  std::vector<PipelinedReply> drain(std::size_t count, int timeout_ms);
+
+  void flush();
+  SocketTransport& transport() noexcept { return transport_; }
+
+ private:
+  struct Waiter {
+    bool done = false;
+    FrameType type = FrameType::kError;
+    bool ack_applied = false;
+    core::LocateReply reply;
+  };
+
+  void handle_frame(SocketTransport::PeerId peer, const FrameView& frame);
+  /// Run the loop until the sync waiter for `correlation` completes.
+  bool wait_for(std::uint64_t correlation, int timeout_ms);
+
+  SocketTransport transport_;
+  SocketTransport::PeerId server_ = SocketTransport::kInvalidPeer;
+  std::uint64_t next_correlation_ = 1;
+  std::uint64_t partitions_ = 0;
+
+  std::uint64_t sync_correlation_ = 0;  ///< 0: no sync wait in flight
+  Waiter sync_waiter_;
+  std::vector<PipelinedReply> pipelined_;
+};
+
+}  // namespace agentloc::net

@@ -22,6 +22,8 @@ AgentSystem::AgentSystem(sim::Simulator& simulator, net::Network& network,
                          Config config)
     : simulator_(simulator),
       network_(network),
+      sim_transport_(network),
+      transport_(&sim_transport_),
       config_(config),
       services_(network.node_count()) {
   if (config_.reserve_agents > 0) reserve(config_.reserve_agents);
@@ -131,7 +133,7 @@ void AgentSystem::drain_inbox_bouncing(Slot& record) {
 
 std::uint32_t AgentSystem::install_record(std::unique_ptr<Agent> owned,
                                           AgentId id, net::NodeId node) {
-  if (node >= network_.node_count()) {
+  if (node >= transport_->node_count()) {
     throw std::out_of_range("AgentSystem::create: node out of range");
   }
   Agent& agent = *owned;
@@ -182,7 +184,7 @@ void AgentSystem::adopt_migrated(std::unique_ptr<Agent> owned, AgentId id,
     throw std::logic_error("AgentSystem::adopt_migrated: id in use");
   }
   const std::uint32_t slot = install_record(std::move(owned), id, node);
-  network_.note_delivered(node);
+  transport_->note_delivered(node);
   ++stats_.migrations_completed;
   agents_[slot]->on_shard_transfer();
 }
@@ -194,7 +196,7 @@ void AgentSystem::notify_arrival(AgentId id, net::NodeId from_node) {
 }
 
 void AgentSystem::deliver_remote(net::NodeId node, Message message) {
-  network_.note_delivered(node);
+  transport_->note_delivered(node);
   deliver(node, std::move(message));
 }
 
@@ -245,7 +247,7 @@ void AgentSystem::dispose(AgentId id) {
 }
 
 void AgentSystem::migrate(AgentId id, net::NodeId destination) {
-  if (destination >= network_.node_count()) {
+  if (destination >= transport_->node_count()) {
     throw std::out_of_range("AgentSystem::migrate: node out of range");
   }
   const std::uint32_t slot = record_index(id);
@@ -321,12 +323,12 @@ void AgentSystem::plan_remote_migration(std::unique_ptr<Agent> agent,
                                         AgentId id, net::NodeId source,
                                         net::NodeId destination,
                                         std::size_t bytes) {
-  // Same RNG draw order as a `network_.send` transfer. Sharded runs reject
-  // fault injection, so the plan normally admits exactly one copy; under a
-  // transient fault plan the transfer retries like the local path (reliable
-  // transport), keeping the agent alive in the retry closure meanwhile.
+  // Same RNG draw order as a `transport_->send` transfer. Sharded runs
+  // reject fault injection, so the plan normally admits exactly one copy;
+  // under a transient fault plan the transfer retries like the local path
+  // (reliable transport), keeping the agent alive in the retry closure.
   const net::TransmitPlan plan =
-      network_.plan_transmission(source, destination, bytes);
+      transport_->plan_transmission(source, destination, bytes);
   if (plan.copies == 0) {
     simulator_.schedule_after(
         config_.migration_retry,
@@ -344,7 +346,7 @@ void AgentSystem::plan_remote_migration(std::unique_ptr<Agent> agent,
 void AgentSystem::ship_migration(std::uint32_t slot, std::uint32_t generation,
                                  net::NodeId source, net::NodeId destination,
                                  std::size_t bytes) {
-  const bool sent = network_.send(
+  const bool sent = transport_->send(
       source, destination, bytes,
       [this, slot, generation, source, destination] {
         Slot& record = slots_[slot];
@@ -468,7 +470,7 @@ void AgentSystem::transmit(Message message, net::NodeId to_node) {
     // order), then ride the host's cross-LP channel. Bursts never coalesce
     // across shards — each copy is one envelope, ordered at the destination
     // by the engine's (time, src-LP, send-seq) key.
-    const net::TransmitPlan remote_plan = network_.plan_transmission(
+    const net::TransmitPlan remote_plan = transport_->plan_transmission(
         message.from_node, to_node, message.wire_bytes);
     for (int copy = 0; copy < remote_plan.copies; ++copy) {
       const sim::SimTime when = simulator_.now() + remote_plan.delay[copy];
@@ -480,7 +482,7 @@ void AgentSystem::transmit(Message message, net::NodeId to_node) {
     }
     return;
   }
-  const net::TransmitPlan plan = network_.plan_transmission(
+  const net::TransmitPlan plan = transport_->plan_transmission(
       message.from_node, to_node, message.wire_bytes);
   if (plan.copies == 0) return;  // swallowed by the fault plan
 
@@ -521,7 +523,7 @@ void AgentSystem::transmit(Message message, net::NodeId to_node) {
 }
 
 void AgentSystem::on_delivery(std::uint32_t slot, net::NodeId node) {
-  network_.note_delivered(node);
+  transport_->note_delivered(node);
   // Extract the message (and free the slot) before delivering: the handler
   // may send again and reallocate `in_flight_`.
   InFlight& flight = in_flight_[slot];
@@ -543,7 +545,7 @@ void AgentSystem::on_burst(std::uint32_t head, net::NodeId node) {
   std::uint32_t slot = head;
   while (slot != kNoSlot) {
     const std::uint32_t next = in_flight_[slot].next;
-    network_.note_delivered(node);
+    transport_->note_delivered(node);
     Message& message = in_flight_[slot].message;
     const std::uint32_t target = record_index(message.to);
     if (target != kNoRecord && slots_[target].state == State::kActive &&

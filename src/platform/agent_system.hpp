@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/transport.hpp"
 #include "platform/agent.hpp"
 #include "platform/message.hpp"
 #include "sim/simulator.hpp"
@@ -174,6 +175,19 @@ class AgentSystem {
 
   sim::Simulator& simulator() noexcept { return simulator_; }
   net::Network& network() noexcept { return network_; }
+
+  /// --- Message-plane transport seam (DESIGN.md §17) ---------------------
+  /// Every transmission the platform makes — messages, bounces, migrations —
+  /// samples faults/latency and counts deliveries through this seam. The
+  /// default backend is a `net::SimTransport` over `network()`, which is
+  /// bit-identical to calling the network directly (fixed-seed
+  /// test-enforced). Tests and tracing shims may install a decorator; the
+  /// replacement must report the same `node_count()` and must be swapped in
+  /// before any traffic flows.
+  net::Transport& transport() noexcept { return *transport_; }
+  void set_transport(net::Transport& transport) noexcept {
+    transport_ = &transport;
+  }
   sim::SimTime now() const noexcept { return simulator_.now(); }
   std::size_t node_count() const noexcept { return network_.node_count(); }
   const Config& config() const noexcept { return config_; }
@@ -458,6 +472,10 @@ class AgentSystem {
 
   sim::Simulator& simulator_;
   net::Network& network_;
+  /// Default message-plane backend (wraps `network_`) and the seam pointer
+  /// every transmission goes through. `set_transport` repoints the latter.
+  net::SimTransport sim_transport_;
+  net::Transport* transport_;
   Config config_;
   PlatformStats stats_;
 

@@ -28,6 +28,25 @@ void ByteWriter::write_varint(std::uint64_t value) {
   bytes_.push_back(static_cast<std::uint8_t>(value));
 }
 
+void ByteWriter::write_varint4(std::uint32_t value) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + 4);
+  patch_varint4(at, value);
+}
+
+void ByteWriter::patch_varint4(std::size_t offset, std::uint32_t value) {
+  if (offset + 4 > bytes_.size()) {
+    throw std::out_of_range("ByteWriter::patch_varint4: offset out of range");
+  }
+  if (value >= (1u << 28)) {
+    throw std::length_error("ByteWriter::patch_varint4: value needs >28 bits");
+  }
+  bytes_[offset + 0] = static_cast<std::uint8_t>(value & 0x7f) | 0x80;
+  bytes_[offset + 1] = static_cast<std::uint8_t>((value >> 7) & 0x7f) | 0x80;
+  bytes_[offset + 2] = static_cast<std::uint8_t>((value >> 14) & 0x7f) | 0x80;
+  bytes_[offset + 3] = static_cast<std::uint8_t>(value >> 21);
+}
+
 void ByteWriter::write_double(double value) {
   write_u64(std::bit_cast<std::uint64_t>(value));
 }

@@ -28,12 +28,34 @@ constexpr std::size_t varint_size(std::uint64_t value) noexcept {
 /// an actual implementation would send.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopt `storage` and append after its existing content. This is the
+  /// zero-copy hook of the frame codec (DESIGN.md §17): a pooled buffer is
+  /// moved in, payload bytes are encoded straight into it, and `take()`
+  /// moves it back out for the wire — no intermediate vector, no memcpy.
+  explicit ByteWriter(std::vector<std::uint8_t> storage)
+      : bytes_(std::move(storage)) {}
+
   void write_u8(std::uint8_t value);
   void write_u32(std::uint32_t value);
   void write_u64(std::uint64_t value);
 
   /// LEB128 variable-length unsigned integer.
   void write_varint(std::uint64_t value);
+
+  /// Append a 4-byte *padded* varint: LEB128 with forced continuation bits,
+  /// always exactly 4 bytes, decoding to the same value as the canonical
+  /// form. Frame headers reserve one of these as a length slot before the
+  /// payload is encoded and patch it afterwards (`patch_varint4`) — a
+  /// single-pass, zero-copy alternative to encode-then-prepend. Values must
+  /// fit in 28 bits.
+  void write_varint4(std::uint32_t value);
+
+  /// Overwrite the padded varint previously written at `offset` (bounds-
+  /// and width-checked). Throws `std::out_of_range` / `std::length_error`
+  /// on misuse.
+  void patch_varint4(std::size_t offset, std::uint32_t value);
 
   void write_bool(bool value) { write_u8(value ? 1 : 0); }
   void write_double(double value);
