@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
 
   util::Flags flags(argc, argv);
   flags.declare("connect");
+  flags.declare("cluster");
   flags.declare("agents");
   flags.declare("ops");
   flags.declare("window");
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: agentloc_loadgen --connect ADDR [--agents N] [--ops N]\n"
         "  --connect ADDR  unix:/path or tcp:host:port of agentlocd\n"
+        "  --cluster BOOL  fetch the partition map and route ops to the\n"
+        "                  owning worker shard (default false)\n"
         "  --agents N      registered population (default 1000)\n"
         "  --ops N         locate queries to issue (default 20000)\n"
         "  --moves N       re-updates between query phases (default agents/4)\n"
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const bool verify = flags.get_bool("verify", true);
+  const bool cluster = flags.get_bool("cluster", false);
 
   net::SocketAddress address;
   std::string error;
@@ -83,7 +87,9 @@ int main(int argc, char** argv) {
   }
 
   net::LocateClient client;
-  if (!client.connect(address, &error)) {
+  const bool ok = cluster ? client.connect_cluster(address, &error)
+                          : client.connect(address, &error);
+  if (!ok) {
     std::fprintf(stderr, "agentloc_loadgen: connect failed: %s\n",
                  error.c_str());
     return 1;
@@ -186,5 +192,13 @@ int main(int argc, char** argv) {
       "%llu mismatches\n",
       static_cast<unsigned long long>(completed), elapsed, ops_per_s, window,
       static_cast<unsigned long long>(mismatches));
+  if (cluster) {
+    std::printf("agentloc_loadgen: %zu worker connection(s), ops per worker:",
+                client.worker_count());
+    for (const std::uint64_t count : client.per_worker_ops()) {
+      std::printf(" %llu", static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
   return mismatches == 0 ? 0 : 1;
 }

@@ -6,18 +6,26 @@
 // into --partitions IAgent shards, exactly the paper's extendible hash — but
 // answering RPCs between real processes instead of simulated messages.
 //
+// With --workers N the daemon shards into N serving threads (LocateServer):
+// worker 0 listens on --listen itself, worker k on the derived address
+// (unix path + ".w<k>" / tcp port + k), and every worker advertises the
+// leaf → worker ownership map via kPartitionMap so routing clients
+// (agentloc_loadgen --cluster) spread load without any shared lock.
+//
 //   agentlocd --listen unix:/tmp/agentloc.sock --partitions 8
-//   agentlocd --listen tcp:127.0.0.1:7421
+//   agentlocd --listen tcp:127.0.0.1:7421 --workers 4
 //   agentlocd --probe            # exit 0: sockets work here; 77: they don't
 //
 // Pair it with agentloc_loadgen (examples/agentloc_loadgen.cpp); the two
 // form the end-to-end row of bench_transport and the CI transport smoke.
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <string>
+#include <thread>
 
-#include "net/locate_service.hpp"
+#include "net/locate_server.hpp"
 #include "net/socket_transport.hpp"
 #include "util/flags.hpp"
 
@@ -35,6 +43,8 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   flags.declare("listen");
   flags.declare("partitions");
+  flags.declare("workers");
+  flags.declare("backend");
   flags.declare("probe");
   flags.declare("max-requests");
   flags.declare("quiet");
@@ -52,6 +62,10 @@ int main(int argc, char** argv) {
         "  --listen ADDR    unix:/path or tcp:host:port "
         "(default unix:/tmp/agentloc.sock)\n"
         "  --partitions N   IAgent shards in the hash tree (default 8)\n"
+        "  --workers N      serving threads; worker k>0 listens on the\n"
+        "                   derived address (unix +\".w<k>\" / tcp port+k)\n"
+        "  --backend B      readiness backend: auto|poll|epoll (default "
+        "auto)\n"
         "  --probe          exit 0 if this sandbox can create sockets, 77 "
         "otherwise\n"
         "  --max-requests N stop after N locate requests (0 = run forever)\n"
@@ -72,10 +86,22 @@ int main(int argc, char** argv) {
 
   const std::string listen_text =
       flags.get_string("listen", "unix:/tmp/agentloc.sock");
-  const auto partitions =
+  const std::string backend_text = flags.get_string("backend", "auto");
+
+  net::LocateServer::Config config;
+  config.partitions =
       static_cast<std::size_t>(flags.get_int("partitions", 8));
-  const auto max_requests =
+  config.workers = static_cast<std::size_t>(flags.get_int("workers", 1));
+  config.max_locates =
       static_cast<std::uint64_t>(flags.get_int("max-requests", 0));
+  if (backend_text == "poll") {
+    config.backend = net::EventLoop::Backend::kPoll;
+  } else if (backend_text == "epoll") {
+    config.backend = net::EventLoop::Backend::kEpoll;
+  } else if (backend_text != "auto") {
+    std::fprintf(stderr, "agentlocd: bad --backend (auto|poll|epoll)\n");
+    return 2;
+  }
   const bool quiet = flags.get_bool("quiet", false);
 
   net::SocketAddress address;
@@ -85,9 +111,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  net::SocketTransport transport;
-  net::LocateService service(transport, partitions);
-  if (!transport.listen(address, &error)) {
+  net::LocateServer server(config);
+  if (!server.start(address, &error)) {
     std::fprintf(stderr, "agentlocd: %s\n", error.c_str());
     return 1;
   }
@@ -96,31 +121,47 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
 
   if (!quiet) {
-    std::printf("agentlocd: serving %s, %zu partitions (tree height %zu)\n",
-                address.to_string().c_str(),
-                service.directory().partition_count(),
-                service.directory().tree().height());
+    std::printf("agentlocd: serving %s, %zu partitions, %zu worker(s)\n",
+                address.to_string().c_str(), config.partitions,
+                server.worker_count());
     std::fflush(stdout);
   }
 
-  while (g_stop == 0) {
-    transport.poll_once(200);
-    if (max_requests != 0 &&
-        service.counters().locates >= max_requests) {
-      break;
-    }
+  // Workers serve on their own threads; this thread just waits for a signal
+  // or for a --max-requests server to retire itself.
+  while (g_stop == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  server.stop();
 
-  const auto& counters = service.counters();
   if (!quiet) {
+    std::uint64_t updates = 0, applied = 0, locates = 0, found = 0,
+                  bindings = 0;
+    for (const net::LocateServer::WorkerStats& w : server.stats()) {
+      updates += w.counters.updates;
+      applied += w.counters.updates_applied;
+      locates += w.counters.locates;
+      found += w.counters.locates_found;
+      bindings += w.bindings;
+    }
     std::printf(
         "agentlocd: served %llu updates (%llu applied), %llu locates "
         "(%llu found), %llu bindings held\n",
-        static_cast<unsigned long long>(counters.updates),
-        static_cast<unsigned long long>(counters.updates_applied),
-        static_cast<unsigned long long>(counters.locates),
-        static_cast<unsigned long long>(counters.locates_found),
-        static_cast<unsigned long long>(service.directory().size()));
+        static_cast<unsigned long long>(updates),
+        static_cast<unsigned long long>(applied),
+        static_cast<unsigned long long>(locates),
+        static_cast<unsigned long long>(found),
+        static_cast<unsigned long long>(bindings));
+    if (server.worker_count() > 1) {
+      for (std::size_t k = 0; k < server.stats().size(); ++k) {
+        const net::LocateServer::WorkerStats& w = server.stats()[k];
+        std::printf(
+            "agentlocd:   worker %zu (%s, %s): %llu locates, %llu updates\n",
+            k, w.address.c_str(), w.backend.c_str(),
+            static_cast<unsigned long long>(w.counters.locates),
+            static_cast<unsigned long long>(w.counters.updates));
+      }
+    }
   }
   return 0;
 }

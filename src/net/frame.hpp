@@ -42,6 +42,11 @@ enum class FrameType : std::uint8_t {
   kPing = 8,
   kPong = 9,
   kError = 10,  ///< string diagnostic; the peer should close
+  /// Worker-shard advertisement (DESIGN.md §17). Client → server with an
+  /// empty payload asks for the map; server → client carries worker count,
+  /// partition count, tree version, per-worker addresses, and the
+  /// leaf → worker ownership table.
+  kPartitionMap = 11,
 };
 
 inline constexpr std::uint8_t kFrameMagic = 0xA6;

@@ -1,16 +1,62 @@
 #include "net/locate_service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
 namespace agentloc::net {
 namespace {
 
-/// Build a tree with `partitions` leaves by breadth-first simple splits:
-/// IAgent ids 1..P, so `iagent - 1` is the table index. Every leaf sits at
-/// location 0 — within one agentlocd process "location" is vestigial; the
-/// tree is used purely as the id → partition hash (paper §3).
-hashtree::HashTree make_partition_tree(std::size_t partitions) {
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void PartitionMap::encode(util::ByteWriter& writer) const {
+  writer.write_varint(workers);
+  writer.write_varint(partitions);
+  writer.write_varint(tree_version);
+  for (const std::string& address : addresses) writer.write_string(address);
+  for (const std::uint32_t worker : owner) writer.write_varint(worker);
+}
+
+PartitionMap PartitionMap::decode(util::ByteReader& reader) {
+  PartitionMap map;
+  map.workers = reader.read_varint();
+  map.partitions = reader.read_varint();
+  map.tree_version = reader.read_varint();
+  // Sanity bounds before the length-driven loops: a corrupt count must not
+  // turn into a multi-gigabyte allocation.
+  if (map.workers == 0 || map.workers > 4096) {
+    throw std::runtime_error("partition map: bad worker count");
+  }
+  if (map.partitions == 0 || map.partitions > (1u << 20)) {
+    throw std::runtime_error("partition map: bad partition count");
+  }
+  map.addresses.reserve(map.workers);
+  for (std::uint64_t k = 0; k < map.workers; ++k) {
+    map.addresses.push_back(reader.read_string());
+  }
+  map.owner.reserve(map.partitions);
+  for (std::uint64_t leaf = 0; leaf < map.partitions; ++leaf) {
+    const std::uint64_t worker = reader.read_varint();
+    if (worker >= map.workers) {
+      throw std::runtime_error("partition map: owner out of range");
+    }
+    map.owner.push_back(static_cast<std::uint32_t>(worker));
+  }
+  return map;
+}
+
+hashtree::HashTree LocateDirectory::make_tree(std::size_t partitions) {
+  // Breadth-first simple splits: IAgent ids 1..P, so `iagent - 1` is the
+  // table index. Every leaf sits at location 0 — within one agentlocd
+  // process "location" is vestigial; the tree is used purely as the
+  // id → partition hash (paper §3).
+  if (partitions == 0) partitions = 1;
   hashtree::HashTree tree(1, 0);
   hashtree::IAgentId next = 2;
   while (tree.leaf_count() < partitions) {
@@ -22,17 +68,8 @@ hashtree::HashTree make_partition_tree(std::size_t partitions) {
   return tree;
 }
 
-std::int64_t now_ms() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
 LocateDirectory::LocateDirectory(std::size_t partitions)
-    : tree_(make_partition_tree(partitions == 0 ? 1 : partitions)),
-      tables_(tree_.leaf_count()) {}
+    : tree_(make_tree(partitions)), tables_(tree_.leaf_count()) {}
 
 std::size_t LocateDirectory::partition_of(platform::AgentId agent) const {
   const hashtree::HashTree::Target target = tree_.lookup_id(agent);
@@ -99,8 +136,8 @@ std::size_t LocateDirectory::size() const noexcept {
 }
 
 LocateService::LocateService(SocketTransport& transport,
-                             std::size_t partitions)
-    : transport_(transport), directory_(partitions) {
+                             std::size_t partitions, const PartitionMap* map)
+    : transport_(transport), directory_(partitions), map_(map) {
   transport_.on_frame([this](SocketTransport::PeerId peer,
                              const FrameView& frame) {
     handle_frame(peer, frame);
@@ -191,6 +228,27 @@ void LocateService::handle_frame(SocketTransport::PeerId peer,
         transport_.flush(peer);
         return;
       }
+      case FrameType::kPartitionMap: {
+        ++counters_.partition_map_requests;
+        transport_.send(peer, FrameType::kPartitionMap, frame.correlation,
+                        [&](util::ByteWriter& w) {
+                          if (map_ != nullptr) {
+                            map_->encode(w);
+                            return;
+                          }
+                          // Standalone: degenerate single-worker map, empty
+                          // address = "the connection you already hold".
+                          PartitionMap self;
+                          self.workers = 1;
+                          self.partitions = directory_.partition_count();
+                          self.tree_version = directory_.tree_version();
+                          self.addresses.assign(1, std::string());
+                          self.owner.assign(directory_.partition_count(), 0);
+                          self.encode(w);
+                        });
+        transport_.flush(peer);
+        return;
+      }
       default:
         send_error(peer, frame.correlation, "unexpected frame type");
         return;
@@ -206,10 +264,37 @@ LocateClient::LocateClient() : transport_(SocketTransport::Config{}) {
                              const FrameView& frame) {
     handle_frame(peer, frame);
   });
+  transport_.on_disconnect([this](SocketTransport::PeerId peer) {
+    // Losing any worker connection poisons the client: pipelined frames may
+    // be half-delivered, so further ops must fail fast, not silently route
+    // around the dead shard.
+    if (peer == server_ ||
+        std::find(workers_.begin(), workers_.end(), peer) != workers_.end()) {
+      disconnected_ = true;
+      if (last_error_.empty()) last_error_ = "server disconnected";
+    }
+  });
 }
 
 bool LocateClient::connected() const noexcept {
-  return transport_.peer_open(server_);
+  if (disconnected_) return false;
+  if (!transport_.peer_open(server_)) return false;
+  for (const SocketTransport::PeerId peer : workers_) {
+    if (!transport_.peer_open(peer)) return false;
+  }
+  return true;
+}
+
+SocketTransport::PeerId LocateClient::peer_for(platform::AgentId agent) {
+  if (!route_tree_) {
+    if (!per_worker_ops_.empty()) ++per_worker_ops_[0];
+    return server_;
+  }
+  const hashtree::HashTree::Target target = route_tree_->lookup_id(agent);
+  const std::size_t leaf = static_cast<std::size_t>(target.iagent - 1);
+  const std::uint32_t worker = leaf < map_.owner.size() ? map_.owner[leaf] : 0;
+  ++per_worker_ops_[worker];
+  return workers_[worker];
 }
 
 void LocateClient::handle_frame(SocketTransport::PeerId,
@@ -256,6 +341,10 @@ void LocateClient::handle_frame(SocketTransport::PeerId,
         break;
       case FrameType::kPong:
         break;
+      case FrameType::kPartitionMap:
+        map_ = PartitionMap::decode(reader);
+        has_map_ = true;
+        break;
       default:  // kError or unexpected
         sync_waiter_.type = FrameType::kError;
         break;
@@ -280,12 +369,10 @@ bool LocateClient::wait_for(std::uint64_t correlation, int timeout_ms) {
   return sync_waiter_.done;
 }
 
-bool LocateClient::connect(const SocketAddress& address, std::string* error,
-                           int timeout_ms) {
-  server_ = transport_.connect(address, error);
-  if (server_ == SocketTransport::kInvalidPeer) return false;
+bool LocateClient::handshake(SocketTransport::PeerId peer, std::string* error,
+                             int timeout_ms) {
   const std::uint64_t correlation = next_correlation_++;
-  transport_.send(server_, FrameType::kHello, correlation,
+  transport_.send(peer, FrameType::kHello, correlation,
                   [](util::ByteWriter& w) {
                     w.write_varint(kLocateProtocolVersion);
                   });
@@ -293,16 +380,93 @@ bool LocateClient::connect(const SocketAddress& address, std::string* error,
       sync_waiter_.type != FrameType::kHelloAck ||
       !sync_waiter_.ack_applied) {
     if (error) *error = "handshake failed";
-    transport_.close_peer(server_);
-    server_ = SocketTransport::kInvalidPeer;
     return false;
   }
   return true;
 }
 
+bool LocateClient::connect(const SocketAddress& address, std::string* error,
+                           int timeout_ms) {
+  disconnected_ = false;
+  last_error_.clear();
+  has_map_ = false;
+  route_tree_.reset();
+  workers_.clear();
+  per_worker_ops_.assign(1, 0);
+  server_ = transport_.connect(address, error);
+  if (server_ == SocketTransport::kInvalidPeer) {
+    last_error_ = error != nullptr && !error->empty() ? *error
+                                                      : "connect failed";
+    return false;
+  }
+  if (!handshake(server_, error, timeout_ms)) {
+    last_error_ = error != nullptr ? *error : "handshake failed";
+    transport_.close_peer(server_);
+    server_ = SocketTransport::kInvalidPeer;
+    disconnected_ = false;  // deliberate close, not a peer failure
+    return false;
+  }
+  workers_.push_back(server_);
+  return true;
+}
+
+bool LocateClient::connect_cluster(const SocketAddress& address,
+                                   std::string* error, int timeout_ms) {
+  if (!connect(address, error, timeout_ms)) return false;
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    last_error_ = message;
+    for (const SocketTransport::PeerId peer : workers_) {
+      transport_.close_peer(peer);
+    }
+    workers_.clear();
+    server_ = SocketTransport::kInvalidPeer;
+    disconnected_ = false;  // deliberate close, not a peer failure
+    route_tree_.reset();
+    has_map_ = false;
+    return false;
+  };
+  const std::uint64_t correlation = next_correlation_++;
+  transport_.send(server_, FrameType::kPartitionMap, correlation, nullptr);
+  if (!wait_for(correlation, timeout_ms) ||
+      sync_waiter_.type != FrameType::kPartitionMap || !has_map_) {
+    return fail("partition map fetch failed");
+  }
+  if (map_.workers <= 1) return true;  // degenerate: single connection
+  if (map_.addresses.size() != map_.workers ||
+      map_.owner.size() != map_.partitions) {
+    return fail("partition map inconsistent");
+  }
+  per_worker_ops_.assign(static_cast<std::size_t>(map_.workers), 0);
+  for (std::size_t k = 1; k < map_.workers; ++k) {
+    SocketAddress worker_address;
+    std::string worker_error;
+    if (!SocketAddress::parse(map_.addresses[k], worker_address,
+                              &worker_error)) {
+      return fail("bad worker address: " + worker_error);
+    }
+    const SocketTransport::PeerId peer =
+        transport_.connect(worker_address, &worker_error);
+    if (peer == SocketTransport::kInvalidPeer) {
+      return fail("worker dial failed: " + worker_error);
+    }
+    if (!handshake(peer, &worker_error, timeout_ms)) {
+      transport_.close_peer(peer);
+      return fail("worker handshake failed");
+    }
+    workers_.push_back(peer);
+  }
+  // Rebuild the server's deterministic pre-split tree: the id → leaf map is
+  // a pure function of the partition count, so routing needs no tree bytes
+  // on the wire.
+  route_tree_.emplace(LocateDirectory::make_tree(
+      static_cast<std::size_t>(map_.partitions)));
+  return true;
+}
+
 bool LocateClient::send_update(platform::AgentId agent, NodeId node,
                                std::uint64_t seq) {
-  return transport_.send(server_, FrameType::kUpdate, 0,
+  return transport_.send(peer_for(agent), FrameType::kUpdate, 0,
                          [&](util::ByteWriter& w) {
                            w.write_varint(agent);
                            w.write_varint(node);
@@ -315,7 +479,7 @@ std::optional<bool> LocateClient::update(platform::AgentId agent, NodeId node,
   const std::uint64_t correlation = next_correlation_++;
   if (!connected()) return std::nullopt;
   transport_.send(
-      server_, FrameType::kUpdate, correlation,
+      peer_for(agent), FrameType::kUpdate, correlation,
       [&](util::ByteWriter& w) {
         w.write_varint(agent);
         w.write_varint(node);
@@ -333,7 +497,7 @@ std::optional<core::LocateReply> LocateClient::locate(platform::AgentId agent,
                                                       int timeout_ms) {
   if (!connected()) return std::nullopt;
   const std::uint64_t correlation = next_correlation_++;
-  transport_.send(server_, FrameType::kLocate, correlation,
+  transport_.send(peer_for(agent), FrameType::kLocate, correlation,
                   [&](util::ByteWriter& w) { w.write_varint(agent); });
   if (!wait_for(correlation, timeout_ms) ||
       sync_waiter_.type != FrameType::kLocateReply) {
@@ -344,7 +508,7 @@ std::optional<core::LocateReply> LocateClient::locate(platform::AgentId agent,
 
 bool LocateClient::send_deregister(platform::AgentId agent,
                                    std::uint64_t seq) {
-  return transport_.send(server_, FrameType::kDeregister, 0,
+  return transport_.send(peer_for(agent), FrameType::kDeregister, 0,
                          [&](util::ByteWriter& w) {
                            w.write_varint(agent);
                            w.write_varint(seq);
@@ -352,16 +516,23 @@ bool LocateClient::send_deregister(platform::AgentId agent,
 }
 
 bool LocateClient::ping(int timeout_ms) {
+  // Round-trip every worker connection: a ping is the client's write fence,
+  // so it must drain the pipeline on all shards, not just worker 0.
   if (!connected()) return false;
-  const std::uint64_t correlation = next_correlation_++;
-  transport_.send(server_, FrameType::kPing, correlation, nullptr);
-  return wait_for(correlation, timeout_ms) &&
-         sync_waiter_.type == FrameType::kPong;
+  for (const SocketTransport::PeerId peer : workers_) {
+    const std::uint64_t correlation = next_correlation_++;
+    transport_.send(peer, FrameType::kPing, correlation, nullptr);
+    if (!wait_for(correlation, timeout_ms) ||
+        sync_waiter_.type != FrameType::kPong) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void LocateClient::send_locate(platform::AgentId agent,
                                std::uint64_t correlation) {
-  transport_.send(server_, FrameType::kLocate, correlation,
+  transport_.send(peer_for(agent), FrameType::kLocate, correlation,
                   [&](util::ByteWriter& w) { w.write_varint(agent); });
 }
 

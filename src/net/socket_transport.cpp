@@ -6,7 +6,6 @@
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <sys/un.h>
@@ -80,9 +79,14 @@ std::string SocketAddress::to_string() const {
 
 SocketTransport::SocketTransport() : SocketTransport(Config{}) {}
 
-SocketTransport::SocketTransport(Config config) : config_(config) {}
+SocketTransport::SocketTransport(Config config)
+    : config_(config), loop_(EventLoop::create(config.backend)) {}
 
 SocketTransport::~SocketTransport() { close_all(); }
+
+const char* SocketTransport::backend_name() const noexcept {
+  return loop_->name();
+}
 
 bool SocketTransport::sockets_available() {
   int fds[2] = {-1, -1};
@@ -100,19 +104,36 @@ bool SocketTransport::set_nonblocking(int fd) {
 
 SocketTransport::PeerId SocketTransport::register_fd(int fd) {
   set_nonblocking(fd);
+  loop_->add(fd, /*want_read=*/true, /*want_write=*/false);
   FrameDecoder decoder(pool_, FrameDecoder::Config{config_.max_payload});
   // Reuse a closed slot if one exists so long-lived servers don't grow the
   // peer table monotonically under connection churn.
+  PeerId id = kInvalidPeer;
   for (std::size_t i = 0; i < peers_.size(); ++i) {
     if (peers_[i].fd < 0) {
       peers_[i] = Peer(std::move(decoder));
       peers_[i].fd = fd;
-      return static_cast<PeerId>(i);
+      id = static_cast<PeerId>(i);
+      break;
     }
   }
-  peers_.emplace_back(std::move(decoder));
-  peers_.back().fd = fd;
-  return static_cast<PeerId>(peers_.size() - 1);
+  if (id == kInvalidPeer) {
+    peers_.emplace_back(std::move(decoder));
+    peers_.back().fd = fd;
+    id = static_cast<PeerId>(peers_.size() - 1);
+  }
+  if (static_cast<std::size_t>(fd) >= fd_owner_.size()) {
+    fd_owner_.resize(static_cast<std::size_t>(fd) + 1, kInvalidPeer);
+  }
+  fd_owner_[static_cast<std::size_t>(fd)] = id;
+  return id;
+}
+
+SocketTransport::PeerId SocketTransport::owner_of(int fd) const noexcept {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fd_owner_.size()) {
+    return kInvalidPeer;
+  }
+  return fd_owner_[static_cast<std::size_t>(fd)];
 }
 
 bool SocketTransport::listen(const SocketAddress& address,
@@ -147,6 +168,9 @@ bool SocketTransport::listen(const SocketAddress& address,
     }
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (config_.reuse_port) {
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+    }
     sockaddr_in sin{};
     sin.sin_family = AF_INET;
     sin.sin_port = htons(address.port);
@@ -171,6 +195,7 @@ bool SocketTransport::listen(const SocketAddress& address,
     return false;
   }
   set_nonblocking(fd);
+  loop_->add(fd, /*want_read=*/true, /*want_write=*/false);
   listen_fd_ = fd;
   return true;
 }
@@ -280,8 +305,14 @@ void SocketTransport::flush_pending(PeerId id) {
       iov[i].iov_base = buf.bytes.data() + buf.offset;
       iov[i].iov_len = buf.bytes.size() - buf.offset;
     }
-    const ssize_t wrote =
-        ::writev(peer.fd, iov, static_cast<int>(count));
+    // sendmsg(MSG_NOSIGNAL) rather than writev: writing into a connection
+    // the peer already closed must surface as EPIPE (→ drop_peer), not
+    // SIGPIPE — a sharded client flushing to a dead worker would otherwise
+    // kill the process.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    const ssize_t wrote = ::sendmsg(peer.fd, &msg, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // wait for POLLOUT
@@ -347,29 +378,22 @@ void SocketTransport::read_ready(PeerId id) {
 }
 
 int SocketTransport::poll_once(int timeout_ms) {
-  std::vector<pollfd> fds;
-  std::vector<PeerId> ids;
-  fds.reserve(peers_.size() + 1);
-  if (listen_fd_ >= 0) {
-    fds.push_back({listen_fd_, POLLIN, 0});
-    ids.push_back(kInvalidPeer);
-  }
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    const Peer& peer = peers_[i];
+  // Sync write interest with queue state: a peer subscribes to writability
+  // only while sealed bytes are waiting on the kernel, so an idle peer
+  // never spins the loop with a perpetually-writable fd.
+  for (Peer& peer : peers_) {
     if (peer.fd < 0) continue;
-    short events = POLLIN;
-    if (!peer.sendq.empty()) events |= POLLOUT;
-    fds.push_back({peer.fd, events, 0});
-    ids.push_back(static_cast<PeerId>(i));
+    const bool want_write = !peer.sendq.empty();
+    if (want_write != peer.want_write) {
+      loop_->modify(peer.fd, /*want_read=*/true, want_write);
+      peer.want_write = want_write;
+    }
   }
-  if (fds.empty()) return 0;
-  const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                           timeout_ms);
+  if (loop_->watched() == 0) return 0;
+  const int ready = loop_->wait(timeout_ms, events_);
   if (ready <= 0) return ready;
-  for (std::size_t i = 0; i < fds.size(); ++i) {
-    const short got = fds[i].revents;
-    if (got == 0) continue;
-    if (ids[i] == kInvalidPeer) {
+  for (const EventLoop::Event& event : events_) {
+    if (event.fd == listen_fd_ && listen_fd_ >= 0) {
       for (;;) {  // drain the accept queue
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
@@ -379,11 +403,13 @@ int SocketTransport::poll_once(int timeout_ms) {
       }
       continue;
     }
-    const PeerId id = ids[i];
-    if ((got & POLLOUT) != 0 && peer_open(id)) flush_pending(id);
-    if ((got & (POLLIN | POLLHUP | POLLERR)) != 0 && peer_open(id)) {
-      read_ready(id);
-    }
+    // Resolve through the fd→peer map instead of a snapshot: the peer may
+    // have been dropped (and its slot reused) by an earlier event or a
+    // frame handler this same turn.
+    const PeerId id = owner_of(event.fd);
+    if (id == kInvalidPeer) continue;
+    if (event.writable && peer_open(id)) flush_pending(id);
+    if ((event.readable || event.hangup) && peer_open(id)) read_ready(id);
   }
   // End-of-turn flush: every reply queued while dispatching this turn's
   // frames leaves now, coalesced per peer.
@@ -409,14 +435,24 @@ std::size_t SocketTransport::pending_bytes(PeerId peer) const noexcept {
 void SocketTransport::drop_peer(PeerId id, bool count_disconnect) {
   Peer& peer = peers_[static_cast<std::size_t>(id)];
   if (peer.fd < 0) return;
+  loop_->remove(peer.fd);
+  if (static_cast<std::size_t>(peer.fd) < fd_owner_.size()) {
+    fd_owner_[static_cast<std::size_t>(peer.fd)] = kInvalidPeer;
+  }
   ::close(peer.fd);
   peer.fd = -1;
+  peer.want_write = false;
   while (!peer.sendq.empty()) {
     pool_.release(std::move(peer.sendq.front().bytes));
     peer.sendq.pop_front();
   }
+  // The open batch and the decode buffer go back to the pool too, so a
+  // disconnect leaves no pooled bytes stranded on the dead slot (the slot
+  // keeps one fresh decoder buffer for reuse, like a never-used slot).
+  if (peer.batch_open) pool_.release(std::move(peer.batch).take());
   peer.batch = util::ByteWriter();
   peer.batch_open = false;
+  peer.decoder = FrameDecoder(pool_, FrameDecoder::Config{config_.max_payload});
   if (count_disconnect) {
     ++stats_.disconnects;
     if (on_disconnect_) on_disconnect_(id);
@@ -434,6 +470,7 @@ void SocketTransport::close_all() {
     if (peers_[i].fd >= 0) close_peer(static_cast<PeerId>(i));
   }
   if (listen_fd_ >= 0) {
+    loop_->remove(listen_fd_);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }

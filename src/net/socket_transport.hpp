@@ -3,9 +3,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/bytebuffer.hpp"
@@ -43,9 +45,13 @@ struct SocketAddress {
 /// in who carries the bytes.
 ///
 /// Mechanics:
-///  - one `poll(2)` event loop, all fds nonblocking (an epoll variant is a
-///    drop-in: the loop body only touches readiness bits; poll keeps the
-///    code portable and dependency-free at the fan-ins this repo targets)
+///  - one `net::EventLoop` per transport, all fds nonblocking. The loop
+///    backend is runtime-selected (epoll where the kernel has it, poll
+///    elsewhere; `AGENTLOC_EVENT_BACKEND` forces one for tests) and the
+///    transport only consumes readiness bits, so both backends are
+///    semantically identical — level-triggered, partial drains re-report.
+///    Write interest is subscribed only while a peer has sealed bytes
+///    queued, synced at the top of each `poll_once` turn.
 ///  - per-peer send queues: frames are encoded back-to-back into pooled
 ///    buffers (`coalesce` mode) and flushed with a single `writev(2)`
 ///    gathering up to `max_batch_iov` buffers — the syscalls-per-frame
@@ -71,6 +77,12 @@ class SocketTransport {
     std::size_t read_chunk = 64u << 10;       ///< recv() request size
     std::size_t max_payload = kDefaultMaxFramePayload;
     int listen_backlog = 16;
+    /// Readiness backend: kAuto resolves AGENTLOC_EVENT_BACKEND, then
+    /// prefers epoll where supported (poll elsewhere).
+    EventLoop::Backend backend = EventLoop::Backend::kAuto;
+    /// Set SO_REUSEPORT on TCP listen sockets so sharded workers can bind
+    /// the same address family side by side (LocateServer sets this).
+    bool reuse_port = false;
   };
 
   struct Stats {
@@ -135,11 +147,15 @@ class SocketTransport {
   void flush(PeerId peer);
   void flush_all();
 
-  /// One event-loop turn: poll all fds, accept, read/dispatch, drain
-  /// writable send queues, then flush everything queued during the turn —
-  /// so replies to all requests processed this turn coalesce into one
-  /// writev per peer. Returns poll(2)'s return value (0 on timeout).
+  /// One event-loop turn: wait on the backend, accept, read/dispatch,
+  /// drain writable send queues, then flush everything queued during the
+  /// turn — so replies to all requests processed this turn coalesce into
+  /// one writev per peer. Returns the backend's ready count (0 on
+  /// timeout). Not reentrant: frame handlers must not call poll_once.
   int poll_once(int timeout_ms);
+
+  /// Name of the readiness backend actually running: "poll" or "epoll".
+  const char* backend_name() const noexcept;
 
   /// True while `peer` has an open fd.
   bool peer_open(PeerId peer) const noexcept;
@@ -166,11 +182,13 @@ class SocketTransport {
     std::deque<PendingBuffer> sendq;
     util::ByteWriter batch;  ///< open (unsealed) coalescing batch
     bool batch_open = false;
+    bool want_write = false;  ///< current write subscription at the loop
 
     explicit Peer(FrameDecoder decoder_in) : decoder(std::move(decoder_in)) {}
   };
 
   PeerId register_fd(int fd);
+  PeerId owner_of(int fd) const noexcept;
   void seal_batch(Peer& peer);
   void flush_pending(PeerId id);
   void read_ready(PeerId id);
@@ -180,7 +198,10 @@ class SocketTransport {
   Config config_;
   Stats stats_;
   util::BufferPool pool_;
+  std::unique_ptr<EventLoop> loop_;
   std::vector<Peer> peers_;
+  std::vector<PeerId> fd_owner_;  ///< fd → open peer id (kInvalidPeer: none)
+  std::vector<EventLoop::Event> events_;  ///< scratch for poll_once
   int listen_fd_ = -1;
   std::string listen_unix_path_;  ///< unlinked on close
   FrameHandler on_frame_;
